@@ -1,0 +1,22 @@
+"""Ablation A4: scheme ordering is a property of the synchronization
+structure, not of the core microarchitecture (in-order vs NetBurst-like
+OoO)."""
+
+import json
+
+from conftest import write_report
+
+from repro.experiments.ablations import run_coremodel_ablation
+
+
+def test_coremodel_ordering(benchmark, runner, report_dir):
+    orderings = benchmark.pedantic(
+        lambda: run_coremodel_ablation("fft", schemes=("cc", "q10", "s9", "su"), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(report_dir, "ablation_coremodel.txt", json.dumps(orderings, indent=2))
+    # cc is the slowest under both core models; su among the fastest.
+    for model, order in orderings.items():
+        assert order[0] == "cc", model
+        assert order[-1] in ("su", "s9"), model

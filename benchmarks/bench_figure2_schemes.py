@@ -1,0 +1,21 @@
+"""Figure 2 regeneration: the four synchronization disciplines on a 4-core
+pedagogical workload (cycle-by-cycle, quantum, bounded slack, unbounded)."""
+
+from conftest import write_report
+
+from repro.experiments.figure2 import render_figure2, run_figure2
+
+
+def test_figure2_scheme_anatomy(benchmark, report_dir):
+    traces = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    write_report(report_dir, "figure2.txt", render_figure2(traces))
+    by_name = {t.scheme: t for t in traces}
+    assert by_name["cc"].max_slack_observed() <= 1
+    assert by_name["q3"].max_slack_observed() <= 3
+    assert by_name["s2"].max_slack_observed() <= 2
+    assert by_name["su"].max_slack_observed() > 3
+    # Less synchronization -> faster simulation.
+    assert by_name["cc"].final_host_time > by_name["q3"].final_host_time
+    assert by_name["q3"].final_host_time > by_name["su"].final_host_time
+    for t in traces:
+        benchmark.extra_info[f"host_time_{t.scheme}"] = round(t.final_host_time)

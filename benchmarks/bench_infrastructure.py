@@ -1,0 +1,43 @@
+"""Micro-benchmarks of the simulator infrastructure itself: compiler
+throughput and engine cycle rate.  These use pytest-benchmark's statistics
+properly (multiple rounds) since each call is cheap."""
+
+from repro.core import run_simulation
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.lang import compile_source
+from repro.workloads.fft import fft_source
+from repro.workloads.synthetic import sharing_workload
+
+
+def test_compile_throughput(benchmark):
+    src = fft_source(64, 8)
+    result = benchmark(lambda: compile_source(src))
+    assert result.program.size_insns > 100
+
+
+def test_engine_cycle_rate_cc(benchmark):
+    def run():
+        return run_simulation(
+            None,
+            trace_cores=sharing_workload(4, 20, seed=1),
+            host=HostConfig(num_cores=4),
+            sim=SimConfig(scheme="cc", seed=1),
+            target=TargetConfig(num_cores=4, core_model="trace"),
+        )
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_engine_cycle_rate_su(benchmark):
+    def run():
+        return run_simulation(
+            None,
+            trace_cores=sharing_workload(4, 20, seed=1),
+            host=HostConfig(num_cores=4),
+            sim=SimConfig(scheme="su", seed=1),
+            target=TargetConfig(num_cores=4, core_model="trace"),
+        )
+
+    result = benchmark(run)
+    assert result.completed

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale selection: ``REPRO_SCALE=tiny|small|paper`` (default ``tiny`` here so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; use ``small``
+or ``paper`` for numbers closer to the publication's regime).
+
+Every bench writes its rendered table(s) into ``reports/`` so the regenerated
+artifacts are inspectable regardless of pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import Runner
+
+REPORTS = pathlib.Path(__file__).resolve().parent.parent / "reports"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(scale=bench_scale(), seed=1)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORTS.mkdir(exist_ok=True)
+    return REPORTS
+
+
+def write_report(report_dir: pathlib.Path, name: str, text: str) -> None:
+    path = report_dir / name
+    path.write_text(text + "\n")
+    print(f"\n[report written to {path}]\n{text}")

@@ -1,0 +1,95 @@
+"""Small shared utilities: deterministic RNG streams, bit manipulation.
+
+Everything in the simulator that needs randomness derives it from a
+:class:`SeedSequenceFactory` so that a single ``SimConfig.seed`` makes the
+whole run reproducible (see DESIGN.md, "Determinism").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SeedStream",
+    "sign_extend",
+    "to_signed64",
+    "to_unsigned64",
+    "is_pow2",
+    "log2i",
+    "align_up",
+    "align_down",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+class SeedStream:
+    """A named tree of deterministic RNG streams.
+
+    Each distinct ``name`` yields an independent, reproducible
+    :class:`numpy.random.Generator`.  Asking twice for the same name returns
+    generators with identical state histories, which keeps component seeding
+    stable even if components are constructed in a different order.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for the stream called *name*."""
+        root = np.random.SeedSequence(self.seed)
+        child = root.spawn(1)[0]
+        # Mix the name into the entropy deterministically.
+        digest = np.frombuffer(name.encode("utf-8").ljust(8, b"\0"), dtype=np.uint8)
+        entropy = [self.seed, int(digest.sum()), len(name)] + [int(b) for b in name.encode("utf-8")]
+        return np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy)))
+
+    def child(self, name: str, index: int = 0) -> "SeedStream":
+        """Derive a sub-stream for a component instance."""
+        g = self.generator(f"{name}/{index}")
+        return SeedStream(int(g.integers(0, 2**31 - 1)))
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low *bits* of *value* as a two's-complement integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def to_signed64(value: int) -> int:
+    """Wrap an arbitrary Python int into signed 64-bit two's complement."""
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+def to_unsigned64(value: int) -> int:
+    """Reinterpret a (possibly negative) int as its unsigned 64-bit pattern."""
+    return value & _MASK64
+
+
+def is_pow2(n: int) -> bool:
+    """True if *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2i(n: int) -> int:
+    """Integer log2 of a power of two; raises ``ValueError`` otherwise."""
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment* (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment* (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)

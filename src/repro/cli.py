@@ -1,0 +1,158 @@
+"""Command-line interface: ``slacksim`` (or ``python -m repro``).
+
+Subcommands::
+
+    slacksim run --workload fft --scheme s9 --host-cores 8
+    slacksim compile program.sl [--run]
+    slacksim figure2 | figure8 | table2 | table3
+    slacksim sweep --workload fft
+    slacksim schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import run_simulation
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads import make_workload
+
+    workload = make_workload(args.workload, scale=args.scale)
+    result = run_simulation(
+        workload.program,
+        target=TargetConfig(core_model=args.core_model),
+        host=HostConfig(num_cores=args.host_cores),
+        sim=SimConfig(scheme=args.scheme, seed=args.seed, fastforward=args.fastforward),
+    )
+    print(result.summary())
+    problems = workload.mismatches(result.output)
+    if problems:
+        print("OUTPUT MISMATCH:")
+        for p in problems:
+            print("  " + p)
+        return 1
+    print(f"output verified against the numpy oracle ({len(result.output)} values)")
+    if args.verbose:
+        for core in result.cores:
+            print(
+                f"  core {core.core_id}: {core.committed} instr / {core.cycles} cyc "
+                f"(IPC {core.ipc:.2f}), L1 misses {core.l1_misses}/{core.l1_accesses}"
+            )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.lang import compile_source
+
+    source = open(args.file).read()
+    compiled = compile_source(source, name=args.file)
+    if args.asm:
+        print(compiled.asm)
+    else:
+        print(compiled.program.listing())
+    if args.run:
+        from repro.cpu.interp import run_functional
+
+        result = run_functional(compiled.program)
+        print(f"# functional run: exit={result.exit_code}, {result.instructions} instructions")
+        for value in result.output:
+            print(value)
+    return 0
+
+
+def _cmd_experiment(name: str):
+    def run(args: argparse.Namespace) -> int:
+        import os
+
+        if args.scale:
+            os.environ["REPRO_SCALE"] = args.scale
+        if name == "figure2":
+            from repro.experiments.figure2 import main as entry
+        elif name == "figure8":
+            from repro.experiments.figure8 import main as entry
+        elif name == "table2":
+            from repro.experiments.table2 import main as entry
+        else:
+            from repro.experiments.table3 import main as entry
+        entry()
+        return 0
+
+    return run
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import render_sweep, run_slack_sweep
+    from repro.experiments.common import Runner
+
+    runner = Runner(scale=args.scale or "tiny", seed=args.seed)
+    points = run_slack_sweep(args.workload, runner=runner)
+    print(render_sweep(f"slack sweep ({args.workload})", points))
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.core.schemes import parse_scheme
+
+    for spec in ("cc", "q10", "l10", "s9", "s9*", "s100", "su"):
+        print(f"  {spec:5s} {parse_scheme(spec).describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slacksim",
+        description="SlackSim reproduction: slack-based parallel CMP simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a registered workload")
+    run.add_argument("--workload", default="fft", help="fft | lu | barnes | water")
+    run.add_argument("--scheme", default="cc", help="cc | qN | lN | sN | sN* | su")
+    run.add_argument("--host-cores", type=int, default=8)
+    run.add_argument("--scale", default="tiny", help="tiny | small | paper")
+    run.add_argument("--core-model", default="inorder", help="inorder | ooo")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--fastforward", action="store_true")
+    run.add_argument("--verbose", "-v", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    comp = sub.add_parser("compile", help="compile a Slang source file")
+    comp.add_argument("file")
+    comp.add_argument("--asm", action="store_true", help="print generated assembly")
+    comp.add_argument("--run", action="store_true", help="run functionally after compiling")
+    comp.set_defaults(func=_cmd_compile)
+
+    for name, help_text in (
+        ("figure2", "scheme anatomy (paper Figure 2)"),
+        ("figure8", "speedup grid (paper Figure 8)"),
+        ("table2", "benchmarks + baseline KIPS (paper Table 2)"),
+        ("table3", "slack errors (paper Table 3)"),
+    ):
+        exp = sub.add_parser(name, help=f"regenerate {help_text}")
+        exp.add_argument("--scale", help="tiny | small | paper")
+        exp.set_defaults(func=_cmd_experiment(name))
+
+    sweep = sub.add_parser("sweep", help="slack design-space sweep (ablation A1)")
+    sweep.add_argument("--workload", default="fft")
+    sweep.add_argument("--scale")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    schemes = sub.add_parser("schemes", help="list supported slack schemes")
+    schemes.set_defaults(func=_cmd_schemes)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

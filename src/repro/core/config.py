@@ -1,0 +1,79 @@
+"""Configuration dataclasses for target, host and simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.l1cache import L1Config
+from repro.mem.memsys import MemSysConfig
+
+__all__ = ["TargetConfig", "HostConfig", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class TargetConfig:
+    """The simulated CMP (paper §4.1: 8-core, 16KB I/D L1, 256KB shared L2)."""
+
+    num_cores: int = 8
+    core_model: str = "inorder"  # "inorder" | "ooo" | "trace"
+    l1: L1Config = field(default_factory=L1Config)
+    memsys: MemSysConfig = field(default_factory=MemSysConfig)
+    #: Model the instruction cache (adds GETS traffic for text fetches).
+    model_icache: bool = False
+    memory_bytes: int = 16 * 1024 * 1024
+    stack_bytes: int = 256 * 1024
+    #: Out-of-order core parameters (paper: 4-wide, 64 in-flight).
+    ooo_width: int = 4
+    ooo_rob: int = 64
+    branch_predictor: str = "gshare"
+    mispredict_penalty: int = 8
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """The *modeled* host CMP (DESIGN.md §2: virtual-host substitution).
+
+    Costs are in abstract host-time units (think microseconds of host work).
+    They were calibrated once against the paper's Table 2 baseline
+    (~100-130 KIPS for 9 simulation threads on one host core) and are the
+    same for every scheme — only the synchronization structure differs.
+    """
+
+    num_cores: int = 8
+    #: Host work to simulate one active target-core cycle.
+    cycle_cost: float = 1.0
+    #: Host work for a stalled/idle target cycle (spin/wait loops are cheap).
+    idle_cycle_cost: float = 0.25
+    #: Extra host work per event generated or consumed by a core thread.
+    event_cost: float = 1.5
+    #: Host work for the manager to service one GQ request.
+    manager_request_cost: float = 2.0
+    #: Host work for one manager polling pass that finds nothing to do.
+    manager_poll_cost: float = 0.4
+    #: Cost to suspend a thread (futex sleep) when it hits its window edge.
+    suspend_cost: float = 0.8
+    #: Cost to wake a suspended thread (paid when its window reopens).
+    wake_cost: float = 1.5
+    #: Lognormal sigma of multiplicative per-batch cost jitter (models
+    #: instruction-mix variance across threads; drives load imbalance).
+    jitter_sigma: float = 0.25
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulation run."""
+
+    #: Slack scheme: "cc", "qN", "lN", "sN", "sN*", "su".
+    scheme: str = "cc"
+    seed: int = 1
+    #: Maximum target cycles before the engine aborts (safety net).
+    max_cycles: int = 50_000_000
+    #: Maximum committed instructions (0 = run to completion), mirroring the
+    #: paper's fixed 100M-instruction runs.
+    max_instructions: int = 0
+    #: Track conflicting same-word accesses (workload-state violations).
+    detect_violations: bool = True
+    #: Compensate detected workload violations by fast-forwarding (§3.2.3).
+    fastforward: bool = False
+    #: Max target cycles a core thread advances per engine step (batching).
+    batch_cycles: int = 8

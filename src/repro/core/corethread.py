@@ -1,0 +1,146 @@
+"""Core thread: the clock protocol around one core model (paper Figure 1).
+
+A core thread owns its core model, the InQ/OutQ pair and the two shared
+pacing variables (``local_time`` / ``max_local_time``).  It "can advance its
+own simulation and local time for as long as its local time is less than
+its max local time" and suspends when the window edge is reached; the
+manager raises ``max_local_time`` per the active slack scheme.
+
+The same class serves the deterministic sequential engine (stepped in
+batches) and the threaded engine (stepped from a real Python thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EvKind, Event
+from repro.core.queues import InQ, OutQ
+from repro.cpu.interfaces import CorePhase
+
+__all__ = ["CoreThread", "BatchStats", "CoreState"]
+
+
+class CoreState:
+    IDLE = "idle"
+    ACTIVE = "active"
+    DONE = "done"
+
+
+@dataclass
+class BatchStats:
+    """What happened during one engine-scheduled batch of target cycles."""
+
+    cycles: int = 0
+    active_cycles: int = 0
+    idle_cycles: int = 0
+    committed: int = 0
+    events_out: int = 0
+    events_in: int = 0
+    wakes: list[tuple[int, int]] = field(default_factory=list)
+    hit_window_edge: bool = False
+
+
+class CoreThread:
+    """One simulated target core plus its queue/clock protocol."""
+
+    def __init__(self, core_id: int, model) -> None:
+        self.core_id = core_id
+        self.model = model
+        self.inq = InQ()
+        self.outq = OutQ()
+        self.local_time = 0
+        self.max_local_time = 0
+        self.state = CoreState.IDLE
+        self.total_committed = 0
+        self.total_cycles = 0
+        self.final_time = 0
+        self.ever_active = False
+
+    # ------------------------------------------------------------- lifecycle
+    def activate(self, pc: int, arg: int, ts: int) -> None:
+        """A workload thread was assigned (main at t=0, or spawn at ts)."""
+        self.model.activate(pc, arg, ts)
+        self.local_time = ts
+        self.state = CoreState.ACTIVE
+        self.ever_active = True
+
+    # -------------------------------------------------------------- delivery
+    def deliver(self, event: Event) -> None:
+        self.inq.push(event)
+
+    def _route_due_events(self, stats: BatchStats) -> None:
+        while True:
+            event = self.inq.pop_due(self.local_time)
+            if event is None:
+                return
+            stats.events_in += 1
+            if event.kind is EvKind.RESPONSE:
+                self.model.deliver_response(event)
+            elif event.kind is EvKind.INVALIDATE:
+                self.model.apply_invalidation(event.addr)
+            elif event.kind is EvKind.DOWNGRADE:
+                self.model.apply_downgrade(event.addr)
+            else:  # pragma: no cover
+                raise AssertionError(f"unexpected InQ event {event}")
+
+    # ------------------------------------------------------------------ run
+    def run(self, budget: int) -> BatchStats:
+        """Advance up to *budget* target cycles within the slack window.
+
+        Clock invariant enforced each cycle::
+
+            global <= local_time <= max_local_time
+
+        (the global bound is checked by the manager, which owns global time).
+        """
+        stats = BatchStats()
+        model = self.model
+        out_before = len(self.outq)
+        while (
+            self.state == CoreState.ACTIVE
+            and stats.cycles < budget
+            and self.local_time < self.max_local_time
+        ):
+            self._route_due_events(stats)
+            committed, active = model.step(self.local_time)
+            stats.committed += committed
+            if active:
+                stats.active_cycles += 1
+            else:
+                stats.idle_cycles += 1
+            stats.cycles += 1
+            self.local_time += 1
+            if model.pending_wakes:
+                stats.wakes.extend(model.pending_wakes)
+                model.pending_wakes.clear()
+            if model.phase is CorePhase.HALTED:
+                self.state = CoreState.DONE
+                self.final_time = self.local_time
+                break
+            # Skip-ahead: a stall with a known resume time burns idle cycles
+            # in one jump (identical event behaviour, fewer Python steps).
+            hint = model.stall_hint(self.local_time)
+            if hint is not None and hint > self.local_time:
+                limit = min(self.max_local_time, self.local_time + (budget - stats.cycles))
+                next_in = self.inq.peek_ts()
+                if next_in is not None:
+                    limit = min(limit, next_in)
+                jump = min(hint, limit)
+                if jump > self.local_time:
+                    skipped = jump - self.local_time
+                    stats.cycles += skipped
+                    # Spin-wait cycles are full-cost (the core simulates the
+                    # wait loop); frozen-pipeline stalls are cheap.
+                    if getattr(model, "spinning", False):
+                        stats.active_cycles += skipped
+                    else:
+                        stats.idle_cycles += skipped
+                    self.local_time = jump
+        stats.events_out = len(self.outq) - out_before
+        stats.hit_window_edge = (
+            self.state == CoreState.ACTIVE and self.local_time >= self.max_local_time
+        )
+        self.total_committed += stats.committed
+        self.total_cycles += stats.cycles
+        return stats

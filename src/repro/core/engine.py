@@ -1,0 +1,330 @@
+"""Deterministic sequential engine: SlackSim on the virtual host.
+
+This engine runs the exact thread structure of the paper — N core threads
+plus one simulation manager thread — as coroutine-style batches interleaved
+by a deterministic virtual-host schedule (DESIGN.md §2, "virtual host"
+substitution).  Each batch's host cost comes from the calibrated
+:class:`~repro.host.costmodel.CostModel`; batches are ordered by a priority
+queue of host-ready times, so a single seed fixes both the modeled host
+timeline *and* the target-side event interleaving.  That one coherent model
+yields Figure 8 (speedups from host makespans) and Table 3 (errors from
+target cycle counts) without real parallel hardware.
+
+Thread-state protocol per core thread:
+
+* runnable: in the host queue; runs batches of up to ``batch_cycles``;
+* suspended: hit its window edge (``local == max_local``); leaves the queue
+  and pays a suspend cost; the manager re-queues it (plus wake cost) when
+  the scheme raises its window — this is exactly the futex sleep/wake cost
+  structure that makes cycle-by-cycle synchronization expensive on a real
+  host;
+* done: its workload thread exited.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.corethread import CoreState, CoreThread
+from repro.core.manager import SimulationManager
+from repro.core.results import CoreResult, SimulationResult
+from repro.core.schemes import parse_scheme
+from repro.cpu.arch import ArchState
+from repro.cpu.l1cache import L1Cache
+from repro.host.costmodel import CostModel
+from repro.host.hostmodel import HostModel
+from repro.isa.program import Program
+from repro.mem.memsys import MemorySystem
+from repro.sysapi.loader import load_program
+from repro.sysapi.system import SystemEmulation
+from repro.violations.detect import ViolationCounters, WordOrderTracker
+
+__all__ = ["SequentialEngine", "EngineError", "run_simulation"]
+
+
+class EngineError(RuntimeError):
+    """The engine detected deadlock, runaway simulation or misconfiguration."""
+
+
+class SequentialEngine:
+    """Build and run one simulation of *program* under one scheme."""
+
+    def __init__(
+        self,
+        program: Program | None,
+        *,
+        target: TargetConfig | None = None,
+        host: HostConfig | None = None,
+        sim: SimConfig | None = None,
+        trace_cores: list | None = None,
+    ) -> None:
+        self.target = target or TargetConfig()
+        self.host_cfg = host or HostConfig()
+        self.sim = sim or SimConfig()
+        self.scheme = parse_scheme(self.sim.scheme)
+        self.counters = ViolationCounters()
+        self.tracker = (
+            WordOrderTracker(self.counters, self.sim.fastforward)
+            if self.sim.detect_violations
+            else None
+        )
+        self.memsys = MemorySystem(self.target.memsys, self.target.num_cores, self.counters)
+        self.hostmodel = HostModel(self.host_cfg.num_cores)
+        self.costmodel = CostModel(self.host_cfg, self.sim.seed, self.target.num_cores)
+        self.system: SystemEmulation | None = None
+        self._pending_activations: list[int] = []
+        self.total_committed = 0
+        self.engine_steps = 0
+        #: Optional probe(host_time, global_time, locals) called after every
+        #: manager step — used by the Figure 2 scheme-anatomy experiment.
+        self.probe = None
+
+        if trace_cores is not None:
+            self.image = None
+            self.cores = [CoreThread(i, model) for i, model in enumerate(trace_cores)]
+            for ct in self.cores:
+                ct.model.emit = ct.outq.push  # type: ignore[attr-defined]
+        else:
+            if program is None:
+                raise EngineError("either a program or trace_cores is required")
+            self.image = load_program(
+                program,
+                num_contexts=self.target.num_cores,
+                memory_bytes=self.target.memory_bytes,
+                stack_bytes=self.target.stack_bytes,
+            )
+            self.system = SystemEmulation(self.image, self.target.num_cores)
+            self.system.activate_context = self._activate_context
+            self.cores = []
+            for i in range(self.target.num_cores):
+                ct = CoreThread(i, None)
+                model = self._build_core_model(i, program, ct)
+                model.bind_context(ArchState(context_id=i))
+                ct.model = model
+                self.cores.append(ct)
+        self.manager = SimulationManager(self.cores, self.memsys, self.scheme)
+
+        if trace_cores is not None:
+            for ct in self.cores:
+                self._start_core(ct, pc=0, arg=0, ts=0)
+        else:
+            assert self.image is not None
+            self._init_registers(0, tid=0)
+            self._start_core(self.cores[0], pc=self.image.program.entry, arg=0, ts=0)
+
+    def _build_core_model(self, core_id: int, program: Program, ct: CoreThread):
+        """Instantiate the configured core model (inorder | ooo)."""
+        assert self.image is not None and self.system is not None
+        common = dict(
+            l1i=L1Cache(self.target.l1) if self.target.model_icache else None,
+            word_tracker=self.tracker,
+            fastforward=self.sim.fastforward,
+        )
+        if self.target.core_model == "inorder":
+            from repro.cpu.inorder import InOrderCore
+
+            return InOrderCore(
+                core_id, program, self.image.memory, L1Cache(self.target.l1),
+                ct.outq.push, self.system, **common,
+            )
+        if self.target.core_model == "ooo":
+            from repro.cpu.ooo import OoOCore
+
+            return OoOCore(
+                core_id, program, self.image.memory, L1Cache(self.target.l1),
+                ct.outq.push, self.system,
+                width=self.target.ooo_width,
+                rob_size=self.target.ooo_rob,
+                predictor=self.target.branch_predictor,
+                mispredict_penalty=self.target.mispredict_penalty,
+                **common,
+            )
+        raise EngineError(f"unknown core model {self.target.core_model!r}")
+
+    # ------------------------------------------------------------ activation
+    def _init_registers(self, core: int, tid: int) -> None:
+        assert self.image is not None
+        state = self.cores[core].model.state
+        state.set_x(2, self.image.stack_top(core))   # sp
+        state.set_x(4, tid)                          # tp
+        state.set_x(1, self.image.thread_exit_pc)    # ra -> exit stub
+
+    def _start_core(self, ct: CoreThread, pc: int, arg: int, ts: int) -> None:
+        ct.activate(pc, arg, ts)
+        ct.max_local_time = max(self.manager.current_max_local(), ts)
+
+    def _activate_context(self, core: int, pc: int, arg: int, ts: int) -> None:
+        """SystemEmulation spawn hook: start a workload thread on *core*."""
+        assert self.system is not None
+        tid = next(
+            t.tid for t in self.system.threads.values() if t.core == core and t.state == "running"
+        )
+        self._init_registers(core, tid)
+        self._start_core(self.cores[core], pc, arg, ts)
+        self._pending_activations.append(core)
+
+    # ------------------------------------------------------------------- run
+    def _all_done(self) -> bool:
+        return all(ct.state != CoreState.ACTIVE for ct in self.cores)
+
+    def run(self) -> SimulationResult:
+        sim = self.sim
+        heap: list[tuple[float, int, int]] = []  # (ready, seq, idx); idx -1 = manager
+        seq = itertools.count()
+        suspended = [False] * len(self.cores)
+        heapq.heappush(heap, (0.0, next(seq), -1))
+        for ct in self.cores:
+            if ct.state == CoreState.ACTIVE:
+                heapq.heappush(heap, (0.0, next(seq), ct.core_id))
+
+        mgr_idle_streak = 0
+        completed = True
+        max_steps = 200_000_000
+
+        while not self._all_done():
+            if not heap:
+                raise EngineError("host queue empty with active cores — engine bug")
+            self.engine_steps += 1
+            if self.engine_steps > max_steps:
+                raise EngineError("engine step limit exceeded (runaway simulation)")
+            ready, _, idx = heapq.heappop(heap)
+
+            if idx == -1:
+                result = self.manager.step()
+                cost = self.costmodel.manager_step_cost(result.drained, result.processed)
+                done_t = self.hostmodel.run(ready, cost)
+                for cid in result.raised:
+                    if suspended[cid]:
+                        suspended[cid] = False
+                        heapq.heappush(heap, (done_t + self.costmodel.wake_cost, next(seq), cid))
+                self._drain_activations(heap, seq, done_t)
+                if result.work == 0 and not result.raised:
+                    mgr_idle_streak += 1
+                    if mgr_idle_streak > 100_000:
+                        self._diagnose_deadlock(suspended)
+                else:
+                    mgr_idle_streak = 0
+                if self.probe is not None:
+                    self.probe(
+                        done_t,
+                        self.manager.global_time,
+                        [
+                            c.local_time if c.state == CoreState.ACTIVE else -1
+                            for c in self.cores
+                        ],
+                    )
+                heapq.heappush(heap, (done_t, next(seq), -1))
+                continue
+
+            ct = self.cores[idx]
+            if ct.state != CoreState.ACTIVE:
+                continue
+            if ct.local_time >= ct.max_local_time:
+                suspended[idx] = True
+                self.hostmodel.run(ready, self.host_cfg.suspend_cost)
+                continue
+            stats = ct.run(sim.batch_cycles)
+            mgr_idle_streak = 0
+            for core_id, release_ts in stats.wakes:
+                self.cores[core_id].model.release(release_ts)
+            cost = self.costmodel.core_batch_cost(idx, stats, suspended=stats.hit_window_edge)
+            done_t = self.hostmodel.run(ready, cost)
+            self._drain_activations(heap, seq, done_t)
+            self.total_committed += stats.committed
+            if ct.local_time > sim.max_cycles:
+                raise EngineError(
+                    f"core {idx} exceeded max_cycles={sim.max_cycles} "
+                    f"(scheme {self.scheme.name}; workload hung?)"
+                )
+            if sim.max_instructions and self.total_committed >= sim.max_instructions:
+                completed = False
+                break
+            if ct.state == CoreState.ACTIVE:
+                if stats.hit_window_edge:
+                    suspended[idx] = True
+                else:
+                    heapq.heappush(heap, (done_t, next(seq), idx))
+
+        self.manager.check_invariants()
+        return self._build_result(completed)
+
+    def _drain_activations(self, heap, seq, ready: float) -> None:
+        while self._pending_activations:
+            core = self._pending_activations.pop()
+            heapq.heappush(heap, (ready + self.costmodel.wake_cost, next(seq), core))
+
+    def _diagnose_deadlock(self, suspended: list[bool]) -> None:
+        lines = [f"engine deadlock under scheme {self.scheme.name}:"]
+        lines.append(f"  global_time={self.manager.global_time}")
+        for ct in self.cores:
+            lines.append(
+                f"  core {ct.core_id}: state={ct.state} local={ct.local_time} "
+                f"max={ct.max_local_time} suspended={suspended[ct.core_id]} "
+                f"phase={ct.model.phase if ct.model else '?'} inq={len(ct.inq)} outq={len(ct.outq)}"
+            )
+        lines.append(f"  gq={len(self.manager.gq)}")
+        raise EngineError("\n".join(lines))
+
+    # ---------------------------------------------------------------- result
+    def _build_result(self, completed: bool) -> SimulationResult:
+        ran = [ct for ct in self.cores if ct.ever_active]
+        if completed and ran:
+            execution = max(ct.final_time for ct in ran)
+        else:
+            execution = self.manager.global_time
+        core_results = []
+        for ct in ran:
+            l1 = getattr(ct.model, "l1d", None)
+            core_results.append(
+                CoreResult(
+                    core_id=ct.core_id,
+                    committed=ct.total_committed,
+                    cycles=ct.total_cycles,
+                    final_time=ct.final_time or ct.local_time,
+                    l1_accesses=l1.stats.accesses if l1 else 0,
+                    l1_misses=l1.stats.misses if l1 else 0,
+                )
+            )
+        sync_stats = self.system.sync.stats if self.system else None
+        return SimulationResult(
+            scheme=self.scheme.name,
+            host_cores=self.host_cfg.num_cores,
+            seed=self.sim.seed,
+            completed=completed,
+            execution_cycles=execution,
+            global_time=self.manager.global_time,
+            instructions=self.total_committed,
+            host_time=self.hostmodel.makespan(),
+            host_busy=self.hostmodel.busy,
+            cores=core_results,
+            violations=self.counters,
+            output=self.system.merged_output() if self.system else [],
+            requests=self.manager.requests_processed,
+            barriers=self.manager.barriers_completed,
+            lock_acquires=sync_stats.lock_acquires if sync_stats else 0,
+            lock_contended=sync_stats.lock_contended if sync_stats else 0,
+            engine_steps=self.engine_steps,
+        )
+
+
+def run_simulation(
+    program: Program | None,
+    *,
+    scheme: str = "cc",
+    host_cores: int = 8,
+    seed: int = 1,
+    target: TargetConfig | None = None,
+    sim: SimConfig | None = None,
+    host: HostConfig | None = None,
+    trace_cores: list | None = None,
+    **sim_overrides,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`SequentialEngine`."""
+    if sim is None:
+        sim = SimConfig(scheme=scheme, seed=seed, **sim_overrides)
+    if host is None:
+        host = HostConfig(num_cores=host_cores)
+    engine = SequentialEngine(program, target=target, host=host, sim=sim, trace_cores=trace_cores)
+    return engine.run()

@@ -1,0 +1,74 @@
+"""Event types flowing through the OutQ / InQ / GQ queues (paper Figure 1).
+
+Core threads emit *requests* (L1 miss service: GETS/GETX/UPGRADE, and PUTM
+writebacks) into their OutQ.  The manager drains OutQs into the GQ,
+services requests against the shared memory system, and pushes *responses*
+(data + granted MESI state) and *coherence messages* (invalidate/downgrade)
+into core InQs.  "In each entry, a timestamp records the time ... an event
+initiates and should take effect."
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.mem.directory import ReqKind
+
+__all__ = ["EvKind", "Event", "REQUEST_KINDS", "new_seq"]
+
+
+class EvKind(enum.Enum):
+    # Core -> manager (OutQ / GQ).
+    GETS = "gets"
+    GETX = "getx"
+    UPGRADE = "upgrade"
+    PUTM = "putm"
+    # Manager -> core (InQ).
+    RESPONSE = "response"
+    INVALIDATE = "invalidate"
+    DOWNGRADE = "downgrade"
+
+
+#: OutQ kinds and their directory request mapping.
+REQUEST_KINDS: dict[EvKind, ReqKind] = {
+    EvKind.GETS: ReqKind.GETS,
+    EvKind.GETX: ReqKind.GETX,
+    EvKind.UPGRADE: ReqKind.UPGRADE,
+    EvKind.PUTM: ReqKind.PUTM,
+}
+
+_seq_counter = itertools.count()
+
+
+def new_seq() -> int:
+    """Monotonic sequence number used as a deterministic tie-breaker."""
+    return next(_seq_counter)
+
+
+@dataclass
+class Event:
+    """One queue entry.
+
+    ``ts`` is the simulated time the event initiates (requests: the issuing
+    core's local time) or should take effect (responses: data-ready time;
+    coherence messages: directory processing time).
+    """
+
+    kind: EvKind
+    addr: int
+    core: int
+    ts: int
+    seq: int = field(default_factory=new_seq)
+    #: For RESPONSE: the MESI state granted to the requester's L1.
+    grant: str | None = None
+    #: For RESPONSE: the seq of the request this answers.
+    req_seq: int | None = None
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind in REQUEST_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind.value} core={self.core} addr={self.addr:#x} ts={self.ts} seq={self.seq}>"

@@ -1,0 +1,142 @@
+"""The simulation manager thread (paper §2.1-2.2).
+
+Two responsibilities:
+
+1. simulate the shared lower-level hierarchy — drain every core's OutQ into
+   the GQ and service requests against the :class:`MemorySystem` according
+   to the active scheme's GQ policy;
+2. orchestrate the pace — maintain ``global_time = min(local_time)`` over
+   active cores and raise each core's ``max_local_time`` per the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.corethread import CoreState, CoreThread
+from repro.core.events import REQUEST_KINDS, EvKind, Event
+from repro.core.queues import GlobalQueue
+from repro.core.schemes import INFINITY, Lookahead, Scheme
+from repro.mem.memsys import MemorySystem
+
+__all__ = ["SimulationManager", "ManagerStepResult"]
+
+
+@dataclass
+class ManagerStepResult:
+    drained: int = 0
+    processed: int = 0
+    #: Cores whose max_local_time was raised this step.
+    raised: list[int] = field(default_factory=list)
+
+    @property
+    def work(self) -> int:
+        return self.drained + self.processed
+
+
+class SimulationManager:
+    """Owns global time, the GQ and the shared memory system."""
+
+    def __init__(self, cores: list[CoreThread], memsys: MemorySystem, scheme: Scheme) -> None:
+        self.cores = cores
+        self.memsys = memsys
+        self.scheme = scheme
+        self.gq = GlobalQueue()
+        self.global_time = 0
+        self.requests_processed = 0
+        self.barriers_completed = 0
+
+    # ------------------------------------------------------------- utilities
+    def _active(self) -> list[CoreThread]:
+        return [ct for ct in self.cores if ct.state == CoreState.ACTIVE]
+
+    def current_max_local(self) -> int:
+        """Window bound for a newly activated core under the current scheme."""
+        if isinstance(self.scheme, Lookahead):
+            return self.scheme.max_local(self.global_time, self.gq.oldest_ts())
+        return self.scheme.max_local(self.global_time)
+
+    def check_invariants(self) -> None:
+        """Assert the paper's clock invariant for every active core."""
+        for ct in self._active():
+            if not self.global_time <= ct.local_time <= max(ct.max_local_time, ct.local_time):
+                raise AssertionError(
+                    f"clock invariant violated on core {ct.core_id}: "
+                    f"{self.global_time} <= {ct.local_time} <= {ct.max_local_time}"
+                )
+
+    # ------------------------------------------------------------------ step
+    def step(self) -> ManagerStepResult:
+        result = ManagerStepResult()
+        for ct in self.cores:
+            if len(ct.outq):
+                for event in ct.outq.drain():
+                    self.gq.push(event)
+                    result.drained += 1
+
+        active = self._active()
+        policy = self.scheme.gq_policy
+        if policy == "immediate":
+            while True:
+                event = self.gq.pop_fifo()
+                if event is None:
+                    break
+                self._service(event)
+                result.processed += 1
+        elif policy == "oldest":
+            bound = min((ct.local_time for ct in active), default=self.global_time)
+            while True:
+                event = self.gq.pop_oldest(max(bound, self.global_time))
+                if event is None:
+                    break
+                self._service(event)
+                result.processed += 1
+        else:  # barrier (cycle-by-cycle / quantum-based / adaptive quantum)
+            if active and all(ct.local_time >= ct.max_local_time for ct in active):
+                self.barriers_completed += 1
+                while True:
+                    event = self.gq.pop_oldest(INFINITY)
+                    if event is None:
+                        break
+                    self._service(event)
+                    result.processed += 1
+                adapt = getattr(self.scheme, "adapt", None)
+                if adapt is not None:
+                    boundary = min(ct.max_local_time for ct in active)
+                    adapt(result.processed, max(1, boundary - self.global_time))
+
+        # Advance global time (monotonic; excludes idle/done cores).
+        if active:
+            new_global = min(ct.local_time for ct in active)
+            if new_global > self.global_time:
+                self.global_time = new_global
+
+        # Raise windows per the scheme.
+        new_max = self.current_max_local()
+        for ct in active:
+            if new_max > ct.max_local_time:
+                ct.max_local_time = new_max
+                result.raised.append(ct.core_id)
+        return result
+
+    # --------------------------------------------------------------- service
+    def _service(self, event: Event) -> None:
+        """Service one GQ request and deliver its responses/messages."""
+        self.requests_processed += 1
+        kind = REQUEST_KINDS[event.kind]
+        result = self.memsys.service(kind, event.addr, event.core, event.ts)
+        if result.grant is not None:
+            self.cores[event.core].deliver(
+                Event(
+                    EvKind.RESPONSE,
+                    event.addr,
+                    event.core,
+                    result.ready_ts,
+                    grant=result.grant,
+                    req_seq=event.seq,
+                )
+            )
+        for victim, addr in result.invalidations:
+            self.cores[victim].deliver(Event(EvKind.INVALIDATE, addr, victim, result.coherence_ts))
+        for owner, addr in result.downgrades:
+            self.cores[owner].deliver(Event(EvKind.DOWNGRADE, addr, owner, result.coherence_ts))

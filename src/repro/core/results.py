@@ -1,0 +1,126 @@
+"""Simulation run results and derived metrics (speedup, error, KIPS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.costmodel import HOST_UNIT_SECONDS
+from repro.violations.detect import ViolationCounters
+
+__all__ = ["SimulationResult", "CoreResult"]
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome."""
+
+    core_id: int
+    committed: int
+    cycles: int
+    final_time: int
+    l1_accesses: int
+    l1_misses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    scheme: str
+    host_cores: int
+    seed: int
+    completed: bool
+    #: Target execution time: last workload-thread exit (completed runs) or
+    #: global time at truncation.
+    execution_cycles: int
+    global_time: int
+    instructions: int
+    host_time: float
+    host_busy: float
+    cores: list[CoreResult] = field(default_factory=list)
+    violations: ViolationCounters = field(default_factory=ViolationCounters)
+    output: list = field(default_factory=list)
+    requests: int = 0
+    barriers: int = 0
+    lock_acquires: int = 0
+    lock_contended: int = 0
+    engine_steps: int = 0
+
+    # ------------------------------------------------------------ derived
+    @property
+    def host_seconds(self) -> float:
+        return self.host_time * HOST_UNIT_SECONDS
+
+    @property
+    def kips(self) -> float:
+        """Simulated kilo-instructions per modeled host second (Table 2)."""
+        return self.instructions / self.host_seconds / 1000.0 if self.host_time else 0.0
+
+    @property
+    def host_utilization(self) -> float:
+        return self.host_busy / (self.host_time * self.host_cores) if self.host_time else 0.0
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Simulation speedup = baseline simulation time / this run's time."""
+        if self.host_time == 0:
+            return float("inf")
+        return baseline.host_time / self.host_time
+
+    def error_vs(self, gold: "SimulationResult") -> float:
+        """Relative execution-time error against a gold (cc) run (Table 3)."""
+        if gold.execution_cycles == 0:
+            return 0.0
+        return abs(self.execution_cycles - gold.execution_cycles) / gold.execution_cycles
+
+    def int_output(self) -> list[int]:
+        return [v for v in self.output if isinstance(v, int)]
+
+    def float_output(self) -> list[float]:
+        return [v for v in self.output if isinstance(v, float)]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (for tooling and report pipelines)."""
+        return {
+            "scheme": self.scheme,
+            "host_cores": self.host_cores,
+            "seed": self.seed,
+            "completed": self.completed,
+            "execution_cycles": self.execution_cycles,
+            "global_time": self.global_time,
+            "instructions": self.instructions,
+            "host_time": self.host_time,
+            "host_utilization": self.host_utilization,
+            "kips": self.kips,
+            "requests": self.requests,
+            "barriers": self.barriers,
+            "lock_acquires": self.lock_acquires,
+            "lock_contended": self.lock_contended,
+            "violations": {
+                "simulation_state": self.violations.simulation_state,
+                "system_state": self.violations.system_state,
+                "workload_state": self.violations.workload_state,
+                "fastforwards": self.violations.fastforwards,
+            },
+            "cores": [
+                {
+                    "core": c.core_id,
+                    "committed": c.committed,
+                    "cycles": c.cycles,
+                    "ipc": c.ipc,
+                    "l1_miss_rate": (c.l1_misses / c.l1_accesses) if c.l1_accesses else 0.0,
+                }
+                for c in self.cores
+            ],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"[{self.scheme} H={self.host_cores}] "
+            f"T_target={self.execution_cycles} cyc, instr={self.instructions}, "
+            f"T_host={self.host_time:.0f} u ({self.kips:.1f} KIPS), "
+            f"util={self.host_utilization:.2f}, {self.violations.summary()}"
+        )

@@ -1,0 +1,165 @@
+"""Threaded engine: the paper's actual Pthreads structure.
+
+One real :class:`threading.Thread` per target core plus one manager thread,
+communicating through the same CoreThread/Manager objects as the sequential
+engine, paced by the same ``local``/``max_local``/``global`` protocol with a
+condition variable standing in for the paper's futex sleep/wake.
+
+**What this engine is for** (DESIGN.md §2): CPython's GIL serialises the
+threads, so *wall-clock speedup is not expected* — that is exactly the
+repro gate this project works around with the virtual host.  The threaded
+engine exists to prove the concurrent algorithm itself: no lost events, no
+deadlock, functional outputs equal to the sequential engine's, and the clock
+invariant holding under genuine preemption.  Timing results are
+nondeterministic and reported as real wall-clock.
+
+Concurrency protocol:
+
+* per-core InQs are wrapped in a lock (manager pushes, core pops);
+* OutQ is single-producer/single-consumer lock-free (atomic ``popleft``);
+* the system-emulation layer (Table 1 API, spawn/join, heap, output) is
+  serialised by one *emulation lock* — the paper emulates these "outside the
+  simulator", which is what makes this sound;
+* ``local_time``/``max_local_time`` are plain ints (atomic loads/stores
+  under the GIL); window sleeps use a shared Condition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.corethread import CoreState
+from repro.core.engine import EngineError, SequentialEngine
+from repro.core.events import Event
+from repro.core.queues import InQ
+from repro.core.results import SimulationResult
+from repro.host.costmodel import HOST_UNIT_SECONDS
+
+__all__ = ["ThreadedEngine"]
+
+
+class _LockedInQ:
+    """Thread-safe wrapper over an InQ (manager producer, core consumer)."""
+
+    def __init__(self, inner: InQ) -> None:
+        self._inner = inner
+        self._lock = threading.Lock()
+
+    def push(self, event: Event) -> None:
+        with self._lock:
+            self._inner.push(event)
+
+    def pop_due(self, now: int):
+        with self._lock:
+            return self._inner.pop_due(now)
+
+    def peek_ts(self):
+        with self._lock:
+            return self._inner.peek_ts()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inner)
+
+
+class ThreadedEngine(SequentialEngine):
+    """Run the simulation on real Python threads (Pthreads analogue)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._window_cond = threading.Condition()
+        self._emu_lock = threading.RLock()
+        self._stop = threading.Event()
+        self._error: BaseException | None = None
+        # Thread-safe InQs.
+        for ct in self.cores:
+            ct.inq = _LockedInQ(ct.inq)  # type: ignore[assignment]
+        # Serialise the emulation layer (syscalls can run concurrently).
+        if self.system is not None:
+            inner_syscall = self.system.syscall
+
+            def locked_syscall(core, state, ts, _inner=inner_syscall):
+                with self._emu_lock:
+                    return _inner(core, state, ts)
+
+            self.system.syscall = locked_syscall  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------ activation
+    def _activate_context(self, core: int, pc: int, arg: int, ts: int) -> None:
+        super()._activate_context(core, pc, arg, ts)
+        with self._window_cond:
+            self._window_cond.notify_all()
+
+    # --------------------------------------------------------------- threads
+    def _core_thread_body(self, idx: int) -> None:
+        ct = self.cores[idx]
+        try:
+            while not self._stop.is_set():
+                if ct.state != CoreState.ACTIVE:
+                    with self._window_cond:
+                        self._window_cond.wait(timeout=0.005)
+                    continue
+                if ct.local_time >= ct.max_local_time:
+                    # Window edge: sleep until the manager slides the window.
+                    with self._window_cond:
+                        if ct.local_time >= ct.max_local_time:
+                            self._window_cond.wait(timeout=0.005)
+                    continue
+                stats = ct.run(self.sim.batch_cycles)
+                if stats.wakes:
+                    with self._emu_lock:
+                        for core_id, release_ts in stats.wakes:
+                            self.cores[core_id].model.release(release_ts)
+                with self._emu_lock:
+                    self.total_committed += stats.committed
+        except BaseException as exc:  # pragma: no cover - surfaced in run()
+            self._error = exc
+            self._stop.set()
+
+    def _manager_thread_body(self) -> None:
+        try:
+            while not self._stop.is_set():
+                result = self.manager.step()
+                if result.raised:
+                    with self._window_cond:
+                        self._window_cond.notify_all()
+                if self._all_done():
+                    self._stop.set()
+                    with self._window_cond:
+                        self._window_cond.notify_all()
+                    return
+                if result.work == 0:
+                    time.sleep(0)  # yield the GIL while polling
+        except BaseException as exc:  # pragma: no cover
+            self._error = exc
+            self._stop.set()
+
+    # ------------------------------------------------------------------- run
+    def run(self, timeout: float = 120.0) -> SimulationResult:
+        """Run to completion on real threads; returns a SimulationResult
+        whose host_time is measured wall-clock (GIL-bound, nondeterministic)."""
+        threads = [
+            threading.Thread(target=self._core_thread_body, args=(i,), name=f"core-{i}", daemon=True)
+            for i in range(len(self.cores))
+        ]
+        manager = threading.Thread(target=self._manager_thread_body, name="manager", daemon=True)
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        manager.start()
+        manager.join(timeout)
+        if manager.is_alive():
+            self._stop.set()
+            raise EngineError(f"threaded run exceeded {timeout}s (deadlock or overload)")
+        for t in threads:
+            t.join(5.0)
+        if self._error is not None:
+            raise self._error
+        wall = time.perf_counter() - start
+        self.manager.check_invariants()
+        result = self._build_result(completed=True)
+        # Report measured wall time in host units for comparability.
+        result.host_time = wall / HOST_UNIT_SECONDS
+        result.host_busy = result.host_time
+        return result

@@ -1,0 +1,45 @@
+"""Per-core models: architectural state, functional execution, timing cores.
+
+Core threads in the slack engine own one timing core model each (in-order or
+NetBurst-like out-of-order) together with its private L1 caches, mirroring
+SlackSim's structure (paper Figure 1).
+"""
+
+from repro.cpu.arch import ArchState, TargetFault, TargetMemory
+from repro.cpu.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    StaticPredictor,
+    make_predictor,
+)
+from repro.cpu.funcsim import do_amo, do_load, do_store, effective_address, execute
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.interfaces import CorePhase
+from repro.cpu.interp import FunctionalInterpreter, InterpResult, run_functional
+from repro.cpu.l1cache import MESI, AccessResult, L1Cache, L1Config
+from repro.cpu.ooo import OoOCore
+
+__all__ = [
+    "ArchState",
+    "TargetFault",
+    "TargetMemory",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "StaticPredictor",
+    "make_predictor",
+    "do_amo",
+    "do_load",
+    "do_store",
+    "effective_address",
+    "execute",
+    "InOrderCore",
+    "CorePhase",
+    "FunctionalInterpreter",
+    "InterpResult",
+    "run_functional",
+    "MESI",
+    "AccessResult",
+    "L1Cache",
+    "L1Config",
+    "OoOCore",
+]

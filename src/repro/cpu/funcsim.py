@@ -1,0 +1,281 @@
+"""Functional execution of SPISA instructions.
+
+The timing cores (:mod:`repro.cpu.inorder`, :mod:`repro.cpu.ooo`) decide
+*when* each instruction executes; this module defines *what* it does.  The
+split mirrors SlackSim's modification of SimpleScalar: "register values are
+fetched just before execution ... SlackSim executes each instruction when it
+reaches an execution unit" (paper §2.2).  Hence the API separates address
+generation (:func:`effective_address`), the functional memory touch
+(:func:`do_load` / :func:`do_store` / :func:`do_amo`) and register-only
+execution (:func:`execute`), so cores can place each at the correct simulated
+cycle.
+
+Arithmetic follows RISC-V-style conventions: 64-bit two's-complement wraparound,
+``div/rem`` by zero produce ``-1`` / the dividend, shifts use the low 6 bits
+of the shift amount, float compares with NaN are false, and ``fcvt.l.d``
+truncates toward zero with saturation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro._util import to_signed64, to_unsigned64
+from repro.cpu.arch import ArchState, TargetMemory
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Op
+
+__all__ = [
+    "execute",
+    "effective_address",
+    "do_load",
+    "do_store",
+    "do_amo",
+    "ExecOutcome",
+    "NEXT",
+]
+
+#: Sentinel meaning "fall through to pc + 8".
+NEXT = -1
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class ExecOutcome:
+    """Result flags of register-only execution."""
+
+    __slots__ = ("next_pc", "is_syscall", "is_halt", "taken")
+
+    def __init__(self, next_pc: int, *, is_syscall: bool = False, is_halt: bool = False, taken: bool = False) -> None:
+        self.next_pc = next_pc
+        self.is_syscall = is_syscall
+        self.is_halt = is_halt
+        self.taken = taken
+
+
+def effective_address(state: ArchState, insn: Instruction) -> int:
+    """Address generation for loads, stores and AMOs (``rs1 + imm``)."""
+    return to_signed64(state.x[insn.rs1] + insn.imm)
+
+
+def do_load(state: ArchState, insn: Instruction, mem: TargetMemory, addr: int) -> None:
+    """Apply the functional effect of a load at the current simulated moment."""
+    if insn.op is Op.LD:
+        state.set_x(insn.rd, mem.load_word(addr))
+    elif insn.op is Op.FLD:
+        state.f[insn.rd] = mem.load_float(addr)
+    else:
+        raise AssertionError(f"do_load on non-load {insn.op.name}")
+
+
+def do_store(state: ArchState, insn: Instruction, mem: TargetMemory, addr: int) -> None:
+    """Apply the functional effect of a store."""
+    if insn.op is Op.SD:
+        mem.store_word(addr, state.x[insn.rs2])
+    elif insn.op is Op.FSD:
+        mem.store_float(addr, state.f[insn.rs2])
+    else:
+        raise AssertionError(f"do_store on non-store {insn.op.name}")
+
+
+def do_amo(state: ArchState, insn: Instruction, mem: TargetMemory, addr: int) -> None:
+    """Atomic read-modify-write: old value to ``rd``, new value to memory.
+
+    Atomicity holds by construction in the sequential engine and is enforced
+    by the emulation-layer lock in the threaded engine.
+    """
+    old = mem.load_word(addr)
+    if insn.op is Op.AMOSWAP:
+        new = state.x[insn.rs2]
+    elif insn.op is Op.AMOADD:
+        new = to_signed64(old + state.x[insn.rs2])
+    else:
+        raise AssertionError(f"do_amo on non-AMO {insn.op.name}")
+    mem.store_word(addr, new)
+    state.set_x(insn.rd, old)
+
+
+def _fsqrt(v: float) -> float:
+    return math.sqrt(v) if v >= 0.0 else math.nan
+
+
+def _fcvt_l_d(v: float) -> int:
+    if math.isnan(v):
+        return 0
+    if v >= _INT64_MAX:
+        return _INT64_MAX
+    if v <= _INT64_MIN:
+        return _INT64_MIN
+    return int(v)
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return -1
+    # C-style truncation toward zero.
+    q = abs(a) // abs(b)
+    return to_signed64(-q if (a < 0) != (b < 0) else q)
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    r = abs(a) % abs(b)
+    return to_signed64(-r if a < 0 else r)
+
+
+def execute(
+    state: ArchState,
+    insn: Instruction,
+    mem: TargetMemory | None = None,
+) -> ExecOutcome:
+    """Execute the register-visible semantics of *insn*.
+
+    Memory instructions must go through :func:`effective_address` plus
+    :func:`do_load`/:func:`do_store`/:func:`do_amo` instead; passing one here
+    with *mem* applies address generation *and* the memory effect immediately
+    (convenience path for the pure functional interpreter and tests).
+
+    Returns an :class:`ExecOutcome`; ``next_pc == NEXT`` means fall-through.
+    Syscalls (``ecall``) do not advance the PC themselves — the system layer
+    decides (it may re-execute, e.g. for a blocking lock).
+    """
+    op = insn.op
+    x = state.x
+    f = state.f
+
+    if op is Op.ADD:
+        state.set_x(insn.rd, x[insn.rs1] + x[insn.rs2])
+    elif op is Op.SUB:
+        state.set_x(insn.rd, x[insn.rs1] - x[insn.rs2])
+    elif op is Op.MUL:
+        state.set_x(insn.rd, x[insn.rs1] * x[insn.rs2])
+    elif op is Op.DIV:
+        state.set_x(insn.rd, _div(x[insn.rs1], x[insn.rs2]))
+    elif op is Op.REM:
+        state.set_x(insn.rd, _rem(x[insn.rs1], x[insn.rs2]))
+    elif op is Op.AND:
+        state.set_x(insn.rd, x[insn.rs1] & x[insn.rs2])
+    elif op is Op.OR:
+        state.set_x(insn.rd, x[insn.rs1] | x[insn.rs2])
+    elif op is Op.XOR:
+        state.set_x(insn.rd, x[insn.rs1] ^ x[insn.rs2])
+    elif op is Op.SLL:
+        state.set_x(insn.rd, x[insn.rs1] << (x[insn.rs2] & 63))
+    elif op is Op.SRL:
+        state.set_x(insn.rd, to_unsigned64(x[insn.rs1]) >> (x[insn.rs2] & 63))
+    elif op is Op.SRA:
+        state.set_x(insn.rd, x[insn.rs1] >> (x[insn.rs2] & 63))
+    elif op is Op.SLT:
+        state.set_x(insn.rd, int(x[insn.rs1] < x[insn.rs2]))
+    elif op is Op.SLTU:
+        state.set_x(insn.rd, int(to_unsigned64(x[insn.rs1]) < to_unsigned64(x[insn.rs2])))
+    elif op is Op.ADDI:
+        state.set_x(insn.rd, x[insn.rs1] + insn.imm)
+    elif op is Op.ANDI:
+        state.set_x(insn.rd, x[insn.rs1] & insn.imm)
+    elif op is Op.ORI:
+        state.set_x(insn.rd, x[insn.rs1] | insn.imm)
+    elif op is Op.XORI:
+        state.set_x(insn.rd, x[insn.rs1] ^ insn.imm)
+    elif op is Op.SLLI:
+        state.set_x(insn.rd, x[insn.rs1] << (insn.imm & 63))
+    elif op is Op.SRLI:
+        state.set_x(insn.rd, to_unsigned64(x[insn.rs1]) >> (insn.imm & 63))
+    elif op is Op.SRAI:
+        state.set_x(insn.rd, x[insn.rs1] >> (insn.imm & 63))
+    elif op is Op.SLTI:
+        state.set_x(insn.rd, int(x[insn.rs1] < insn.imm))
+    elif op is Op.LUI:
+        state.set_x(insn.rd, insn.imm << 32)
+    elif op in (Op.LD, Op.FLD):
+        if mem is None:
+            raise ValueError("memory instruction executed without a TargetMemory")
+        do_load(state, insn, mem, effective_address(state, insn))
+    elif op in (Op.SD, Op.FSD):
+        if mem is None:
+            raise ValueError("memory instruction executed without a TargetMemory")
+        do_store(state, insn, mem, effective_address(state, insn))
+    elif op in (Op.AMOSWAP, Op.AMOADD):
+        if mem is None:
+            raise ValueError("memory instruction executed without a TargetMemory")
+        do_amo(state, insn, mem, effective_address(state, insn))
+    elif op is Op.BEQ:
+        if x[insn.rs1] == x[insn.rs2]:
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.BNE:
+        if x[insn.rs1] != x[insn.rs2]:
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.BLT:
+        if x[insn.rs1] < x[insn.rs2]:
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.BGE:
+        if x[insn.rs1] >= x[insn.rs2]:
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.BLTU:
+        if to_unsigned64(x[insn.rs1]) < to_unsigned64(x[insn.rs2]):
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.BGEU:
+        if to_unsigned64(x[insn.rs1]) >= to_unsigned64(x[insn.rs2]):
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.JAL:
+        state.set_x(insn.rd, state.pc + INSTRUCTION_BYTES)
+        return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+    elif op is Op.JALR:
+        target = to_signed64(x[insn.rs1] + insn.imm)
+        state.set_x(insn.rd, state.pc + INSTRUCTION_BYTES)
+        return ExecOutcome(target, taken=True)
+    elif op is Op.FADD:
+        f[insn.rd] = f[insn.rs1] + f[insn.rs2]
+    elif op is Op.FSUB:
+        f[insn.rd] = f[insn.rs1] - f[insn.rs2]
+    elif op is Op.FMUL:
+        f[insn.rd] = f[insn.rs1] * f[insn.rs2]
+    elif op is Op.FDIV:
+        f[insn.rd] = f[insn.rs1] / f[insn.rs2] if f[insn.rs2] != 0.0 else math.copysign(math.inf, f[insn.rs1]) if f[insn.rs1] != 0.0 else math.nan
+    elif op is Op.FMIN:
+        f[insn.rd] = min(f[insn.rs1], f[insn.rs2])
+    elif op is Op.FMAX:
+        f[insn.rd] = max(f[insn.rs1], f[insn.rs2])
+    elif op is Op.FSQRT:
+        f[insn.rd] = _fsqrt(f[insn.rs1])
+    elif op is Op.FNEG:
+        f[insn.rd] = -f[insn.rs1]
+    elif op is Op.FABS:
+        f[insn.rd] = abs(f[insn.rs1])
+    elif op is Op.FMV:
+        f[insn.rd] = f[insn.rs1]
+    elif op is Op.FSIN:
+        f[insn.rd] = math.sin(f[insn.rs1])
+    elif op is Op.FCOS:
+        f[insn.rd] = math.cos(f[insn.rs1])
+    elif op is Op.FEQ:
+        state.set_x(insn.rd, int(f[insn.rs1] == f[insn.rs2]))
+    elif op is Op.FLT:
+        state.set_x(insn.rd, int(f[insn.rs1] < f[insn.rs2]))
+    elif op is Op.FLE:
+        state.set_x(insn.rd, int(f[insn.rs1] <= f[insn.rs2]))
+    elif op is Op.FCVT_D_L:
+        f[insn.rd] = float(x[insn.rs1])
+    elif op is Op.FCVT_L_D:
+        state.set_x(insn.rd, _fcvt_l_d(f[insn.rs1]))
+    elif op is Op.FMV_D_X:
+        import struct
+
+        f[insn.rd] = struct.unpack("<d", struct.pack("<q", x[insn.rs1]))[0]
+    elif op is Op.FMV_X_D:
+        import struct
+
+        state.set_x(insn.rd, struct.unpack("<q", struct.pack("<d", f[insn.rs1]))[0])
+    elif op is Op.ECALL:
+        return ExecOutcome(state.pc, is_syscall=True)
+    elif op is Op.HALT:
+        state.halted = True
+        return ExecOutcome(state.pc, is_halt=True)
+    elif op is Op.NOPOP:
+        pass
+    else:  # pragma: no cover - exhaustive over Op
+        raise AssertionError(f"unhandled opcode {op.name}")
+    return ExecOutcome(NEXT)

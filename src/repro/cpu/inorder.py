@@ -1,0 +1,304 @@
+"""In-order, stall-on-miss timing core.
+
+One instruction in flight: fetch/execute at the head cycle, then stay busy
+for the instruction's unit latency; loads/stores access the private L1 and,
+on a miss, issue a request into the core thread's OutQ and stall until the
+manager's response arrives (paper §2.2's "simple in-order core that stalls
+on a cache miss").
+
+Functional effects follow isochrone semantics (paper §3.2): values are read
+and written in the shared functional memory at the simulated moment the
+access completes — L1 hits at the execute cycle, misses when the response is
+applied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cpu.arch import ArchState, TargetMemory
+from repro.cpu.funcsim import NEXT, do_amo, do_load, do_store, effective_address, execute
+from repro.cpu.interfaces import CorePhase
+from repro.cpu.l1cache import MESI, AccessResult, L1Cache
+from repro.core.events import EvKind, Event
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import TEXT_BASE, Program
+from repro.sysapi.system import SysAction, SystemEmulation
+from repro.violations.detect import WordOrderTracker
+
+__all__ = ["InOrderCore"]
+
+_GRANT_TO_MESI = {"M": MESI.MODIFIED, "E": MESI.EXCLUSIVE, "S": MESI.SHARED}
+
+
+class _PendingMem:
+    __slots__ = ("insn", "addr", "block", "is_write", "is_ifetch")
+
+    def __init__(self, insn: Instruction | None, addr: int, block: int, is_write: bool, is_ifetch: bool) -> None:
+        self.insn = insn
+        self.addr = addr
+        self.block = block
+        self.is_write = is_write
+        self.is_ifetch = is_ifetch
+
+
+class InOrderCore:
+    """One target core with private L1 D-cache (and optional I-cache)."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        memory: TargetMemory,
+        l1d: L1Cache,
+        emit: Callable[[Event], None],
+        system: SystemEmulation,
+        *,
+        l1i: L1Cache | None = None,
+        word_tracker: WordOrderTracker | None = None,
+        fastforward: bool = False,
+    ) -> None:
+        self.core_id = core_id
+        self.program = program
+        self.memory = memory
+        self.l1d = l1d
+        self.l1i = l1i
+        self.emit = emit
+        self.system = system
+        self.word_tracker = word_tracker
+        self.fastforward = fastforward
+
+        self.state: ArchState | None = None
+        self.phase = CorePhase.IDLE
+        self.committed = 0
+        self.stall_cycles = 0
+        self.pending_wakes: list[tuple[int, int]] = []
+
+        self._text = program.text
+        self._busy_until = -1
+        self._pending: _PendingMem | None = None
+        self._resp: Event | None = None
+        self._blocked = False
+        self._release_ts: int | None = None
+        self._ifetch_ok_pc = -1  # pc whose I-fetch already completed
+
+    # ------------------------------------------------------------ lifecycle
+    def activate(self, pc: int, arg: int, ts: int) -> None:
+        if self.phase not in (CorePhase.IDLE, CorePhase.HALTED):
+            raise RuntimeError(f"core {self.core_id} activated while {self.phase}")
+        assert self.state is not None, "bind a context before activating"
+        if self._pending is not None or self._blocked:
+            raise RuntimeError(f"core {self.core_id} reactivated with in-flight state")
+        self.state.pc = pc
+        self.state.halted = False
+        self.state.set_x(10, arg)  # a0
+        self._busy_until = -1
+        self._ifetch_ok_pc = -1
+        self.phase = CorePhase.ACTIVE
+
+    def bind_context(self, state: ArchState) -> None:
+        self.state = state
+
+    # ------------------------------------------------------------- delivery
+    def deliver_response(self, event: Event) -> None:
+        if self._pending is None:
+            raise RuntimeError(f"core {self.core_id}: response {event} with nothing pending")
+        self._resp = event
+
+    def apply_invalidation(self, addr: int) -> None:
+        self.l1d.invalidate(addr)
+        if self.l1i is not None:
+            self.l1i.invalidate(addr)
+
+    def apply_downgrade(self, addr: int) -> None:
+        self.l1d.downgrade(addr)
+
+    def release(self, release_ts: int) -> None:
+        """Arm the wake-up for a BLOCK-ed syscall.
+
+        May legitimately arrive *before* this core observes the BLOCK result
+        in the threaded engine (the releaser runs concurrently); the value is
+        consumed exactly once when the blocking syscall finishes.
+        """
+        self._release_ts = release_ts
+
+    @property
+    def spinning(self) -> bool:
+        """True while blocked in a sync spin loop (full host cost class)."""
+        return self._blocked
+
+    def stall_hint(self, now: int) -> int | None:
+        if self._blocked and self._release_ts is not None and self._release_ts > now:
+            return self._release_ts
+        if self._pending is None and now <= self._busy_until:
+            return self._busy_until + 1
+        return None
+
+    # ----------------------------------------------------------------- step
+    def step(self, now: int) -> tuple[int, bool]:
+        if self.phase in (CorePhase.IDLE, CorePhase.HALTED):
+            return 0, False
+        if self._blocked:
+            if self._release_ts is not None and now >= self._release_ts:
+                return self._finish_blocking_syscall(now)
+            # A blocked workload thread spins in target code (load flag,
+            # branch): the core thread simulates real instructions, so the
+            # host pays full per-cycle cost.  This is what keeps de-facto
+            # slack bounded under SU on a fair host (paper §4.2.2's
+            # "surprisingly low" unbounded-slack errors) — unlike memory
+            # stalls, where the frozen pipeline is cheap to simulate.
+            self.stall_cycles += 1
+            return 0, True
+        if self._pending is not None:
+            if self._resp is not None:
+                return self._complete_mem(now)
+            self.stall_cycles += 1
+            return 0, False
+        if now <= self._busy_until:
+            return 0, True  # executing a multi-cycle operation
+        return self._fetch_execute(now)
+
+    # ----------------------------------------------------------- sub-phases
+    def _finish_blocking_syscall(self, now: int) -> tuple[int, bool]:
+        assert self.state is not None
+        self._blocked = False
+        self._release_ts = None
+        self.state.pc += INSTRUCTION_BYTES
+        self._busy_until = now  # resume costs this cycle
+        self.phase = CorePhase.ACTIVE
+        self.committed += 1
+        return 1, True
+
+    def _fetch(self, pc: int) -> Instruction:
+        index = (pc - TEXT_BASE) >> 3
+        if not 0 <= index < len(self._text) or pc & 7:
+            raise RuntimeError(f"core {self.core_id}: PC {pc:#x} outside text segment")
+        return self._text[index]
+
+    def _fetch_execute(self, now: int) -> tuple[int, bool]:
+        assert self.state is not None
+        state = self.state
+        pc = state.pc
+
+        # Optional I-cache: model a GETS for the text block on a miss.
+        if self.l1i is not None and self._ifetch_ok_pc != pc:
+            if self.l1i.access(pc, False) is not AccessResult.HIT:
+                block = self.l1i.block_addr(pc)
+                self.emit(Event(EvKind.GETS, block, self.core_id, now))
+                self._pending = _PendingMem(None, pc, block, False, True)
+                self.phase = CorePhase.STALLED
+                return 0, True
+            self._ifetch_ok_pc = pc
+
+        insn = self._fetch(pc)
+        info = insn.info
+        if info.is_load or info.is_store:
+            return self._execute_mem(insn, now)
+
+        outcome = execute(state, insn)  # register-only semantics
+        if outcome.is_syscall:
+            return self._execute_syscall(now)
+        if outcome.is_halt:
+            self.phase = CorePhase.HALTED
+            self.committed += 1
+            return 1, True
+        state.pc = state.pc + INSTRUCTION_BYTES if outcome.next_pc is NEXT else outcome.next_pc
+        self._busy_until = now + info.latency - 1
+        self._ifetch_ok_pc = -1
+        self.committed += 1
+        return 1, True
+
+    def _execute_mem(self, insn: Instruction, now: int) -> tuple[int, bool]:
+        assert self.state is not None
+        info = insn.info
+        addr = effective_address(self.state, insn)
+        is_write = info.is_store  # AMOs count as writes for coherence
+        result = self.l1d.access(addr, is_write)
+        if result is AccessResult.HIT:
+            self._apply_mem_functional(insn, addr, now)
+            self._busy_until = now + max(self.l1d.config.hit_latency, info.latency) - 1
+            self.state.pc += INSTRUCTION_BYTES
+            self._ifetch_ok_pc = -1
+            self.committed += 1
+            return 1, True
+        block = self.l1d.block_addr(addr)
+        if result is AccessResult.UPGRADE:
+            kind = EvKind.UPGRADE
+        else:
+            kind = EvKind.GETX if is_write else EvKind.GETS
+        self.emit(Event(kind, block, self.core_id, now))
+        self._pending = _PendingMem(insn, addr, block, is_write, False)
+        self.phase = CorePhase.STALLED
+        return 0, True  # the issue cycle itself is active work
+
+    def _complete_mem(self, now: int) -> tuple[int, bool]:
+        assert self.state is not None
+        pending = self._pending
+        resp = self._resp
+        assert pending is not None and resp is not None
+        self._pending = None
+        self._resp = None
+        grant = _GRANT_TO_MESI.get(resp.grant or "")
+        if grant is None:
+            raise RuntimeError(f"core {self.core_id}: response without grant: {resp}")
+        cache = self.l1i if pending.is_ifetch and self.l1i is not None else self.l1d
+        victim = cache.fill(pending.block, grant)
+        if victim is not None:
+            self.emit(Event(EvKind.PUTM, victim, self.core_id, now))
+        self.phase = CorePhase.ACTIVE
+        if pending.is_ifetch:
+            self._ifetch_ok_pc = pending.addr
+            self._busy_until = now  # re-fetch next cycle
+            return 0, True
+        assert pending.insn is not None
+        self._apply_mem_functional(pending.insn, pending.addr, now)
+        self._busy_until = now + self.l1d.config.hit_latency - 1
+        self.state.pc += INSTRUCTION_BYTES
+        self._ifetch_ok_pc = -1
+        self.committed += 1
+        return 1, True
+
+    def _apply_mem_functional(self, insn: Instruction, addr: int, now: int) -> None:
+        """Touch the shared functional memory at simulated time *now*."""
+        assert self.state is not None
+        info = insn.info
+        if info.is_amo:
+            if self.word_tracker is not None:
+                self.word_tracker.observe_load(addr, self.core_id, now)
+                ff = self.word_tracker.observe_store(addr, self.core_id, now)
+                if ff and self.fastforward:
+                    self._busy_until = now + ff
+            do_amo(self.state, insn, self.memory, addr)
+        elif info.is_store:
+            if self.word_tracker is not None:
+                ff = self.word_tracker.observe_store(addr, self.core_id, now)
+                if ff and self.fastforward:
+                    self._busy_until = now + ff
+            do_store(self.state, insn, self.memory, addr)
+        else:
+            if self.word_tracker is not None:
+                self.word_tracker.observe_load(addr, self.core_id, now)
+            do_load(self.state, insn, self.memory, addr)
+
+    def _execute_syscall(self, now: int) -> tuple[int, bool]:
+        assert self.state is not None
+        result = self.system.syscall(self.core_id, self.state, now)
+        if result.wakes:
+            self.pending_wakes.extend(result.wakes)
+        if result.action is SysAction.EXIT:
+            self.phase = CorePhase.HALTED
+            self.state.halted = True
+            self.committed += 1
+            return 1, True
+        if result.action is SysAction.BLOCK:
+            # Do not reset _release_ts: the wake may already have arrived
+            # (threaded engine); it is cleared on consumption.
+            self._blocked = True
+            self.phase = CorePhase.STALLED
+            return 0, True
+        self.state.pc += INSTRUCTION_BYTES
+        self._busy_until = now + result.cost - 1
+        self._ifetch_ok_pc = -1
+        self.committed += 1
+        return 1, True

@@ -1,0 +1,61 @@
+"""Core-model protocol shared by the timing cores and the slack engine.
+
+A core model simulates one target core cycle-by-cycle: ``step(now)`` returns
+``(committed, active)`` per cycle.  The surrounding
+:class:`~repro.core.corethread.CoreThread` owns the clock protocol and the
+event queues; the core model owns the pipeline state and its private L1.
+Implementations: :class:`~repro.cpu.inorder.InOrderCore`,
+:class:`~repro.cpu.ooo.OoOCore`,
+:class:`~repro.workloads.synthetic.TraceCore`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # avoid a circular import (core.* imports this module)
+    from repro.core.events import Event
+
+__all__ = ["CorePhase", "CoreModel"]
+
+
+class CorePhase(enum.Enum):
+    """What the core is doing this cycle (drives the host cost model)."""
+
+    IDLE = "idle"        # no workload thread assigned
+    ACTIVE = "active"    # executing instructions
+    STALLED = "stalled"  # waiting for memory / sync / multi-cycle op
+    HALTED = "halted"    # workload thread exited
+
+
+class CoreModel(Protocol):
+    """Protocol implemented by InOrderCore, OoOCore and TraceCore."""
+
+    core_id: int
+
+    def activate(self, pc: int, arg: int, ts: int) -> None:
+        """Assign a workload thread starting at *pc* with argument *arg*."""
+
+    def step(self, now: int) -> tuple[int, bool]:
+        """Simulate one target cycle at local time *now*.
+
+        Returns ``(committed_instructions, active)`` where *active* is False
+        for pure stall cycles (cheaper on the host).
+        """
+
+    def deliver_response(self, event: Event) -> None:
+        """A memory response from the manager reached this core's InQ."""
+
+    def apply_invalidation(self, addr: int) -> None: ...
+
+    def apply_downgrade(self, addr: int) -> None: ...
+
+    def release(self, release_ts: int) -> None:
+        """Wake a BLOCK-ed syscall at simulated time *release_ts*."""
+
+    @property
+    def phase(self) -> CorePhase: ...
+
+    def stall_hint(self, now: int) -> int | None:
+        """If stalled until a known simulated time, return it (skip-ahead)."""

@@ -1,0 +1,160 @@
+"""Pure functional interpreter (no timing) for single-threaded programs.
+
+This is the toolchain's golden reference: compiler tests, assembler examples
+and workload oracles run here, independent of every timing model.  It
+supports the non-blocking subset of the syscall API (exit / prints / sbrk /
+clock / thread_id / num_threads).  Multi-threaded programs must run on the
+slack engine (:mod:`repro.core`), which provides the full Table 1 emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import align_up
+from repro.cpu.arch import REG_A0, REG_A7, REG_SP, REG_TP, ArchState, TargetMemory
+from repro.cpu.funcsim import NEXT, execute
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.program import TEXT_BASE, Program
+from repro.sysapi.syscalls import Sys
+
+__all__ = ["FunctionalInterpreter", "InterpResult", "run_functional"]
+
+
+class InterpError(RuntimeError):
+    """Functional interpretation failed (unsupported syscall, runaway loop)."""
+
+
+@dataclass
+class InterpResult:
+    """Outcome of a functional run."""
+
+    exit_code: int
+    instructions: int
+    output: list = field(default_factory=list)  # ints / floats / 1-char strs
+    memory: TargetMemory | None = None
+    state: ArchState | None = None
+
+    @property
+    def int_output(self) -> list[int]:
+        return [v for v in self.output if isinstance(v, int)]
+
+    @property
+    def float_output(self) -> list[float]:
+        return [v for v in self.output if isinstance(v, float)]
+
+    def text_output(self) -> str:
+        """Printable rendering of the output stream."""
+        parts = []
+        for v in self.output:
+            parts.append(v if isinstance(v, str) else f"{v}\n" if isinstance(v, int) else f"{v:.17g}\n")
+        return "".join(parts)
+
+
+class FunctionalInterpreter:
+    """Fetch/execute loop over a :class:`Program` with minimal syscalls."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        memory_bytes: int = 16 * 1024 * 1024,
+        stack_bytes: int = 1 << 20,
+    ) -> None:
+        self.program = program
+        self.mem = TargetMemory(memory_bytes)
+        self.mem.write_words(TEXT_BASE, program.encoded_text())
+        if program.data:
+            from repro.isa.program import DATA_BASE
+
+            self.mem.write_bytes(DATA_BASE, program.data)
+        self.brk = align_up(program.data_end, 64)
+        self.state = ArchState(context_id=0, pc=program.entry)
+        self.state.set_x(REG_SP, memory_bytes - 64)
+        self.state.set_x(REG_TP, 0)
+        self.output: list = []
+        self.instructions = 0
+        self.exit_code: int | None = None
+        self._text = program.text
+        self._stack_limit = memory_bytes - stack_bytes
+
+    def _fetch(self, pc: int) -> Instruction:
+        index, rem = divmod(pc - TEXT_BASE, INSTRUCTION_BYTES)
+        if rem or not 0 <= index < len(self._text):
+            raise InterpError(f"PC {pc:#x} outside text segment")
+        return self._text[index]
+
+    def _syscall(self) -> int | None:
+        """Handle an ecall; return the next PC (or None to fall through)."""
+        state = self.state
+        num = state.x[REG_A7]
+        a0 = state.x[REG_A0]
+        try:
+            sys = Sys(num)
+        except ValueError:
+            raise InterpError(f"unknown syscall {num} at pc {state.pc:#x}") from None
+        if sys is Sys.EXIT:
+            self.exit_code = a0
+            state.halted = True
+            return state.pc
+        if sys is Sys.PRINT_INT:
+            self.output.append(a0)
+        elif sys is Sys.PRINT_FLOAT:
+            self.output.append(state.f[10])
+        elif sys is Sys.PRINT_CHAR:
+            self.output.append(chr(a0 & 0x10FFFF))
+        elif sys is Sys.SBRK:
+            old = self.brk
+            new = align_up(old + a0, 64)
+            if new >= self._stack_limit:
+                raise InterpError(f"sbrk({a0}) exhausts the heap (brk {old:#x})")
+            self.brk = new
+            state.set_x(REG_A0, old)
+        elif sys is Sys.CLOCK:
+            state.set_x(REG_A0, self.instructions)
+        elif sys is Sys.THREAD_ID:
+            state.set_x(REG_A0, 0)
+        elif sys is Sys.NUM_THREADS:
+            state.set_x(REG_A0, 1)
+        else:
+            raise InterpError(
+                f"syscall {sys.name} needs the slack engine (multi-threaded emulation)"
+            )
+        return None
+
+    def run(self, max_instructions: int = 50_000_000) -> InterpResult:
+        """Run until ``exit``/``halt`` or the instruction budget is exhausted."""
+        state = self.state
+        mem = self.mem
+        while not state.halted:
+            if self.instructions >= max_instructions:
+                raise InterpError(f"exceeded {max_instructions} instructions (runaway program?)")
+            insn = self._fetch(state.pc)
+            outcome = execute(state, insn, mem)
+            self.instructions += 1
+            if outcome.is_syscall:
+                next_pc = self._syscall()
+                state.pc = next_pc if next_pc is not None else state.pc + INSTRUCTION_BYTES
+                if state.halted:
+                    break
+            elif outcome.is_halt:
+                if self.exit_code is None:
+                    self.exit_code = 0
+                break
+            elif outcome.next_pc is NEXT:
+                state.pc += INSTRUCTION_BYTES
+            else:
+                state.pc = outcome.next_pc
+        return InterpResult(
+            exit_code=self.exit_code if self.exit_code is not None else 0,
+            instructions=self.instructions,
+            output=self.output,
+            memory=mem,
+            state=state,
+        )
+
+
+def run_functional(program: Program, **kwargs) -> InterpResult:
+    """Convenience wrapper: interpret *program* functionally and return the result."""
+    max_instructions = kwargs.pop("max_instructions", 50_000_000)
+    return FunctionalInterpreter(program, **kwargs).run(max_instructions=max_instructions)

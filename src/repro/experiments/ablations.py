@@ -1,0 +1,191 @@
+"""Ablation studies around the paper's design claims (DESIGN.md A1-A4).
+
+* **A1 slack sweep** — §6 claims a speed/accuracy *trade-off*: error and
+  speedup should both grow with the slack bound.
+* **A2 critical latency** — §3.1: conservative oldest-first processing is
+  violation-free iff slack < critical latency; sweeping the quantum/slack
+  across the critical latency should show the violation onset.
+* **A3 fast-forwarding** — §3.2.3 proposes compensating workload violations
+  by fast-forwarding the storing core; measure violations and error with it
+  on/off.
+* **A4 core-model sensitivity** — the scheme *ordering* should not depend on
+  the core microarchitecture (in-order vs OoO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.engine import SequentialEngine
+from repro.experiments.common import Runner
+from repro.stats.tables import Table
+
+__all__ = [
+    "run_slack_sweep",
+    "run_critical_latency_sweep",
+    "run_fastforward_ablation",
+    "run_coremodel_ablation",
+    "run_adaptive_quantum",
+    "render_sweep",
+]
+
+
+@dataclass
+class SweepPoint:
+    label: str
+    speedup: float
+    error: float
+    violations: int
+    workload_violations: int = 0
+
+
+def run_slack_sweep(
+    workload: str = "fft",
+    slacks: tuple[int, ...] = (1, 4, 9, 25, 100, 400),
+    *,
+    host_cores: int = 8,
+    runner: Runner | None = None,
+) -> list[SweepPoint]:
+    """A1: bounded slack sweep — speedup and error vs the slack bound."""
+    runner = runner or Runner()
+    gold = runner.run(workload, "cc", host_cores)
+    base = runner.baseline(workload)
+    points = []
+    for slack in slacks:
+        result = runner.run(workload, f"s{slack}", host_cores)
+        points.append(
+            SweepPoint(
+                label=f"s{slack}",
+                speedup=result.speedup_over(base),
+                error=result.error_vs(gold),
+                violations=result.violations.total,
+            )
+        )
+    result = runner.run(workload, "su", host_cores)
+    points.append(
+        SweepPoint(
+            label="su",
+            speedup=result.speedup_over(base),
+            error=result.error_vs(gold),
+            violations=result.violations.total,
+        )
+    )
+    return points
+
+
+def run_critical_latency_sweep(
+    workload: str = "fft",
+    slacks: tuple[int, ...] = (2, 5, 9, 15, 30, 60),
+    *,
+    host_cores: int = 8,
+    runner: Runner | None = None,
+) -> list[SweepPoint]:
+    """A2: oldest-first bounded slack around the critical latency (10).
+
+    Below the critical latency the conservative S* discipline is
+    violation-free; above it even oldest-first processing can reorder
+    against in-flight responses (paper §3.1).
+    """
+    runner = runner or Runner()
+    gold = runner.run(workload, "cc", host_cores)
+    base = runner.baseline(workload)
+    points = []
+    for slack in slacks:
+        result = runner.run(workload, f"s{slack}*", host_cores)
+        points.append(
+            SweepPoint(
+                label=f"s{slack}*",
+                speedup=result.speedup_over(base),
+                error=result.error_vs(gold),
+                violations=result.violations.total,
+            )
+        )
+    return points
+
+
+def run_fastforward_ablation(
+    workload: str = "water",
+    scheme: str = "s100",
+    *,
+    host_cores: int = 8,
+    runner: Runner | None = None,
+) -> dict:
+    """A3: workload-state violation compensation by fast-forwarding."""
+    runner = runner or Runner()
+    gold = runner.run(workload, "cc", host_cores)
+    off = runner.run(workload, scheme, host_cores, fastforward=False)
+    on = runner.run(workload, scheme, host_cores, fastforward=True)
+    return {
+        "scheme": scheme,
+        "workload": workload,
+        "off": {
+            "error": off.error_vs(gold),
+            "workload_violations": off.violations.workload_state,
+            "fastforwards": off.violations.fastforwards,
+        },
+        "on": {
+            "error": on.error_vs(gold),
+            "workload_violations": on.violations.workload_state,
+            "fastforwards": on.violations.fastforwards,
+        },
+    }
+
+
+def run_coremodel_ablation(
+    workload: str = "fft",
+    schemes: tuple[str, ...] = ("cc", "q10", "s9", "su"),
+    *,
+    host_cores: int = 8,
+    runner: Runner | None = None,
+) -> dict:
+    """A4: does the scheme speed ordering survive a core-model change?"""
+    runner = runner or Runner()
+    orderings = {}
+    for model in ("inorder", "ooo"):
+        target = TargetConfig(core_model=model)
+        w = runner.workload(workload)
+        times = {}
+        for scheme in schemes:
+            engine = SequentialEngine(
+                w.program,
+                target=target,
+                host=HostConfig(num_cores=host_cores),
+                sim=SimConfig(scheme=scheme, seed=runner.seed),
+            )
+            times[scheme] = engine.run().host_time
+        orderings[model] = sorted(schemes, key=lambda s: times[s], reverse=True)
+    return orderings
+
+
+def run_adaptive_quantum(
+    workload: str = "fft",
+    configs: tuple[str, ...] = ("q10", "aq10-160", "aq4-40"),
+    *,
+    host_cores: int = 8,
+    runner: Runner | None = None,
+) -> list[SweepPoint]:
+    """A5 (extension, paper §5 / Falcón et al. [8]): traffic-adaptive quantum
+    vs the fixed critical-latency quantum."""
+    runner = runner or Runner()
+    gold = runner.run(workload, "cc", host_cores)
+    base = runner.baseline(workload)
+    points = []
+    for config in configs:
+        result = runner.run(workload, config, host_cores)
+        points.append(
+            SweepPoint(
+                label=config,
+                speedup=result.speedup_over(base),
+                error=result.error_vs(gold),
+                violations=result.violations.total,
+            )
+        )
+    return points
+
+
+def render_sweep(title: str, points: list[SweepPoint]) -> str:
+    table = Table(title, ["config", "speedup", "error", "violations"])
+    for p in points:
+        table.add_row(p.label, p.speedup, f"{p.error * 100:.2f}%", p.violations)
+    return table.render()

@@ -1,0 +1,98 @@
+"""Shared experiment plumbing: a memoising runner over (workload, scheme,
+host-cores, seed) and the standard scheme/host grids of the evaluation."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.engine import SequentialEngine
+from repro.core.results import SimulationResult
+from repro.workloads.base import Workload
+from repro.workloads.registry import BENCHMARKS, make_workload
+
+__all__ = [
+    "Runner",
+    "SCHEMES",
+    "HOST_COUNTS",
+    "BENCHMARKS",
+    "default_scale",
+]
+
+#: The paper's scheme set (Figure 8 legend order).
+SCHEMES = ("cc", "q10", "l10", "s9", "s9*", "s100", "su")
+
+#: Figure 8's X axis.
+HOST_COUNTS = (2, 4, 8)
+
+
+def default_scale() -> str:
+    """Workload scale for experiments; override with REPRO_SCALE=tiny|small|paper."""
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@dataclass(frozen=True)
+class _Key:
+    workload: str
+    scale: str
+    scheme: str
+    host_cores: int
+    seed: int
+    fastforward: bool
+
+
+class Runner:
+    """Memoising simulation runner used by every experiment module."""
+
+    def __init__(self, scale: str | None = None, seed: int = 1, verify: bool = True) -> None:
+        self.scale = scale or default_scale()
+        self.seed = seed
+        self.verify = verify
+        self._workloads: dict[str, Workload] = {}
+        self._results: dict[_Key, SimulationResult] = {}
+
+    def workload(self, name: str) -> Workload:
+        w = self._workloads.get(name)
+        if w is None:
+            w = make_workload(name, scale=self.scale)
+            self._workloads[name] = w
+        return w
+
+    def run(
+        self,
+        workload: str,
+        scheme: str,
+        host_cores: int,
+        *,
+        seed: int | None = None,
+        fastforward: bool = False,
+        target: TargetConfig | None = None,
+    ) -> SimulationResult:
+        """Run (memoised) and, by default, assert functional correctness."""
+        seed = self.seed if seed is None else seed
+        key = _Key(workload, self.scale, scheme, host_cores, seed, fastforward)
+        cached = self._results.get(key)
+        if cached is not None and target is None:
+            return cached
+        w = self.workload(workload)
+        engine = SequentialEngine(
+            w.program,
+            target=target or TargetConfig(),
+            host=HostConfig(num_cores=host_cores),
+            sim=SimConfig(scheme=scheme, seed=seed, fastforward=fastforward),
+        )
+        result = engine.run()
+        if self.verify:
+            problems = w.mismatches(result.output)
+            if problems:
+                raise AssertionError(
+                    f"workload {workload} mis-executed under {scheme}: " + "; ".join(problems)
+                )
+        if target is None:
+            self._results[key] = result
+        return result
+
+    def baseline(self, workload: str) -> SimulationResult:
+        """The paper's baseline: cycle-by-cycle on a single host core."""
+        return self.run(workload, "cc", 1)

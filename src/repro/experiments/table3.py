@@ -1,0 +1,107 @@
+"""Table 3: relative execution-time errors due to slack.
+
+Paper values (8 host cores):
+
+===============  ======  ======  ======
+benchmark        S9      S100    SU
+===============  ======  ======  ======
+Barnes           0.08%   1.82%   5.94%
+FFT              0.01%   0.07%   1.83%
+LU               0.03%   0.09%   1.98%
+Water-Nsquared   0.01%   0.12%   5.11%
+===============  ======  ======  ======
+
+The gold standard is the cycle-by-cycle run ("always accurate", §3.2).
+Conservative schemes (q10/l10/s9*) are included as extra columns — the paper
+argues they are exact; in this reproduction they carry a small residual
+error from synchronization-API emulation ordering (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import BENCHMARKS, Runner
+from repro.stats.tables import Table
+
+__all__ = ["run_table3", "Table3Row", "PAPER_TABLE3"]
+
+#: Paper's Table 3 (fractions, not percent).
+PAPER_TABLE3 = {
+    "barnes": {"s9": 0.0008, "s100": 0.0182, "su": 0.0594},
+    "fft": {"s9": 0.0001, "s100": 0.0007, "su": 0.0183},
+    "lu": {"s9": 0.0003, "s100": 0.0009, "su": 0.0198},
+    "water": {"s9": 0.0001, "s100": 0.0012, "su": 0.0511},
+}
+
+ERROR_SCHEMES = ("s9", "s100", "su")
+CONSERVATIVE_SCHEMES = ("q10", "l10", "s9*")
+
+
+@dataclass
+class Table3Row:
+    benchmark: str
+    errors: dict  # scheme -> relative error (fraction)
+    paper: dict
+    violations: dict  # scheme -> total violation count
+
+
+def run_table3(runner: Runner | None = None, host_cores: int = 8) -> list[Table3Row]:
+    """Regenerate Table 3 (plus conservative-scheme columns)."""
+    runner = runner or Runner()
+    rows = []
+    for bench in BENCHMARKS:
+        gold = runner.run(bench, "cc", host_cores)
+        errors = {}
+        violations = {}
+        for scheme in ERROR_SCHEMES + CONSERVATIVE_SCHEMES:
+            result = runner.run(bench, scheme, host_cores)
+            errors[scheme] = result.error_vs(gold)
+            violations[scheme] = result.violations.total
+        rows.append(
+            Table3Row(
+                benchmark=bench,
+                errors=errors,
+                paper=PAPER_TABLE3[bench],
+                violations=violations,
+            )
+        )
+    return rows
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    table = Table(
+        "Table 3: relative execution-time errors due to slack (8 host cores)",
+        ["Benchmark", "S9", "S9 (paper)", "S100", "S100 (paper)", "SU", "SU (paper)"],
+    )
+    for r in rows:
+        table.add_row(
+            r.benchmark,
+            f"{r.errors['s9'] * 100:.2f}%",
+            f"{r.paper['s9'] * 100:.2f}%",
+            f"{r.errors['s100'] * 100:.2f}%",
+            f"{r.paper['s100'] * 100:.2f}%",
+            f"{r.errors['su'] * 100:.2f}%",
+            f"{r.paper['su'] * 100:.2f}%",
+        )
+    extra = Table(
+        "Conservative schemes (paper: exact; residual = sync-emulation ordering)",
+        ["Benchmark", "Q10", "L10", "S9*", "violations s9/s100/su"],
+    )
+    for r in rows:
+        extra.add_row(
+            r.benchmark,
+            f"{r.errors['q10'] * 100:.2f}%",
+            f"{r.errors['l10'] * 100:.2f}%",
+            f"{r.errors['s9*'] * 100:.2f}%",
+            f"{r.violations['s9']}/{r.violations['s100']}/{r.violations['su']}",
+        )
+    return table.render() + "\n\n" + extra.render()
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render_table3(run_table3()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

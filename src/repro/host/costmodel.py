@@ -1,0 +1,71 @@
+"""Host cost model: how much host work one simulation-thread step costs.
+
+This is the calibrated substitute for measuring wall-clock time on the
+paper's dual quad-core Xeon (DESIGN.md §2): pure-Python execution under the
+GIL cannot exhibit parallel speedup, so host time is *modeled*.  Costs are
+deliberately simple — linear in simulated cycles and events, with seeded
+lognormal jitter that models instruction-mix variance across threads (the
+load imbalance that makes barrier-heavy schemes slow).
+
+Unit convention: 1 host-time unit ~ the work to simulate one target cycle of
+one core.  :data:`HOST_UNIT_SECONDS` converts modeled units to "seconds" for
+KIPS-style reporting (Table 2); it was fixed once so the baseline lands in
+the paper's 110-130 KIPS range and is never tuned per scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import HostConfig
+from repro.core.corethread import BatchStats
+
+__all__ = ["CostModel", "HOST_UNIT_SECONDS"]
+
+#: Modeled host-time unit, in seconds (for KIPS conversion only).
+HOST_UNIT_SECONDS = 1.1e-6
+
+
+class CostModel:
+    """Deterministic, seeded cost generator."""
+
+    def __init__(self, config: HostConfig, seed: int, num_cores: int) -> None:
+        self.config = config
+        self._core_rng = [
+            np.random.Generator(np.random.PCG64(np.random.SeedSequence([seed, 1000 + i])))
+            for i in range(num_cores)
+        ]
+        self._mgr_rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence([seed, 999])))
+
+    def _jitter(self, rng: np.random.Generator) -> float:
+        sigma = self.config.jitter_sigma
+        if sigma <= 0:
+            return 1.0
+        # Mean-1 lognormal multiplier.
+        return float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+
+    def core_batch_cost(self, core_id: int, stats: BatchStats, *, suspended: bool) -> float:
+        """Host work for one core-thread batch."""
+        cfg = self.config
+        cost = (
+            stats.active_cycles * cfg.cycle_cost
+            + stats.idle_cycles * cfg.idle_cycle_cost
+            + (stats.events_out + stats.events_in) * cfg.event_cost
+        )
+        cost *= self._jitter(self._core_rng[core_id])
+        if suspended:
+            cost += cfg.suspend_cost
+        # Every scheduled step costs at least something (loop overhead).
+        return max(cost, 0.05)
+
+    def manager_step_cost(self, drained: int, processed: int) -> float:
+        """Host work for one manager polling pass."""
+        cfg = self.config
+        if drained == 0 and processed == 0:
+            return cfg.manager_poll_cost
+        cost = cfg.manager_poll_cost + processed * cfg.manager_request_cost + 0.2 * drained
+        return cost * self._jitter(self._mgr_rng)
+
+    @property
+    def wake_cost(self) -> float:
+        return self.config.wake_cost

@@ -1,0 +1,60 @@
+"""Virtual host CMP: a deterministic multiprocessor schedule builder.
+
+Simulation threads (N core threads + 1 manager) are scheduled greedily onto
+``num_cores`` identical host cores: each step runs on the host core that can
+start it earliest (earliest-available, lowest index on ties), like an OS
+spreading runnable threads.  The *makespan* of the resulting schedule is the
+modeled simulation time; speedups in Figure 8 are ratios of makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HostModel", "HostReport"]
+
+
+@dataclass
+class HostReport:
+    makespan: float
+    busy: float
+    num_cores: int
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / (self.makespan * self.num_cores) if self.makespan > 0 else 0.0
+
+
+class HostModel:
+    """Greedy earliest-start scheduler over H host cores."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("host needs at least one core")
+        self.num_cores = num_cores
+        self.free_at = [0.0] * num_cores
+        self.busy = 0.0
+        self.steps = 0
+
+    def run(self, ready: float, cost: float) -> float:
+        """Schedule a step that becomes ready at *ready* and costs *cost*;
+        returns its completion time."""
+        best = 0
+        best_start = None
+        for c in range(self.num_cores):
+            start = self.free_at[c] if self.free_at[c] > ready else ready
+            if best_start is None or start < best_start:
+                best = c
+                best_start = start
+        assert best_start is not None
+        end = best_start + cost
+        self.free_at[best] = end
+        self.busy += cost
+        self.steps += 1
+        return end
+
+    def makespan(self) -> float:
+        return max(self.free_at)
+
+    def report(self) -> HostReport:
+        return HostReport(makespan=self.makespan(), busy=self.busy, num_cores=self.num_cores)

@@ -1,0 +1,482 @@
+"""Two-pass SPISA assembler.
+
+The assembler turns textual assembly into a :class:`repro.isa.program.Program`
+image.  It supports:
+
+* labels (``name:``), in both ``.text`` and ``.data`` segments;
+* directives ``.text``, ``.data``, ``.global``, ``.word``, ``.double``,
+  ``.space``, ``.align``;
+* the full concrete instruction set plus the pseudo-instructions listed in
+  :data:`PSEUDO_DOC` (``li``, ``la``, ``mv``, ``j``, ``call``, ``ret`` ...);
+* ABI register names (``zero ra sp gp tp t0-t6 s0-s11 a0-a7``, ``f0-f31``
+  with ``ft/fs/fa`` aliases);
+* ``#`` and ``;`` comments, and ``label + offset`` immediate expressions.
+
+Branch and ``jal`` immediates are encoded PC-relative in bytes
+(``imm = target - pc``); ``jalr`` is absolute ``rs1 + imm``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro._util import align_up
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import MNEMONICS, OPINFO, Format, Op
+from repro.isa.program import Program, TEXT_BASE, DATA_BASE
+
+__all__ = ["assemble", "AssemblerError", "REGISTER_NAMES", "FREGISTER_NAMES"]
+
+
+class AssemblerError(ValueError):
+    """Assembly failure with source location attached."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+def _build_register_names() -> dict[str, int]:
+    names: dict[str, int] = {}
+    for i in range(32):
+        names[f"x{i}"] = i
+    abi = (
+        ["zero", "ra", "sp", "gp", "tp"]
+        + [f"t{i}" for i in range(3)]          # t0-t2 -> x5-x7
+        + ["s0", "s1"]                          # x8, x9
+        + [f"a{i}" for i in range(8)]           # a0-a7 -> x10-x17
+        + [f"s{i}" for i in range(2, 12)]       # s2-s11 -> x18-x27
+        + [f"t{i}" for i in range(3, 7)]        # t3-t6 -> x28-x31
+    )
+    for i, name in enumerate(abi):
+        names[name] = i
+    names["fp"] = 8  # frame pointer alias for s0
+    return names
+
+
+def _build_fregister_names() -> dict[str, int]:
+    names: dict[str, int] = {}
+    for i in range(32):
+        names[f"f{i}"] = i
+    abi = (
+        [f"ft{i}" for i in range(8)]            # f0-f7
+        + ["fs0", "fs1"]                        # f8, f9
+        + [f"fa{i}" for i in range(8)]          # f10-f17
+        + [f"fs{i}" for i in range(2, 12)]      # f18-f27
+        + [f"ft{i}" for i in range(8, 12)]      # f28-f31
+    )
+    for i, name in enumerate(abi):
+        names[name] = i
+    return names
+
+
+#: Integer register name -> index (ABI + xN forms).
+REGISTER_NAMES = _build_register_names()
+#: Float register name -> index (ABI + fN forms).
+FREGISTER_NAMES = _build_fregister_names()
+
+#: Documentation of supported pseudo-instructions (name -> expansion sketch).
+PSEUDO_DOC = {
+    "nop": "addi x0, x0, 0",
+    "li rd, imm": "addi rd, zero, imm (imm must fit signed 32 bits)",
+    "la rd, label": "addi rd, zero, &label",
+    "mv rd, rs": "addi rd, rs, 0",
+    "not rd, rs": "xori rd, rs, -1",
+    "neg rd, rs": "sub rd, zero, rs",
+    "seqz rd, rs": "sltu rd, rs, 1  (via sltiu-less form: sltiu == slti unsigned)",
+    "snez rd, rs": "sltu rd, zero, rs",
+    "j label": "jal zero, label",
+    "jr rs": "jalr zero, rs, 0",
+    "call label": "jal ra, label",
+    "ret": "jalr zero, ra, 0",
+    "beqz rs, label": "beq rs, zero, label",
+    "bnez rs, label": "bne rs, zero, label",
+    "bltz rs, label": "blt rs, zero, label",
+    "bgez rs, label": "bge rs, zero, label",
+    "bgtz rs, label": "blt zero, rs, label",
+    "blez rs, label": "bge zero, rs, label",
+    "bgt rs, rt, label": "blt rt, rs, label",
+    "ble rs, rt, label": "bge rt, rs, label",
+    "bgtu/bleu": "unsigned forms of the above",
+}
+
+
+@dataclass
+class _Slot:
+    """One concrete instruction awaiting symbol resolution."""
+
+    mnemonic: str
+    operands: list[str]
+    line: int
+    addr: int = 0
+
+
+@dataclass
+class _DataItem:
+    kind: str          # "word" | "double" | "space"
+    values: list       # ints / floats / [nbytes]
+    line: int
+    addr: int = 0
+
+
+_MEMOP_RE = re.compile(r"^(?P<imm>[^()]*)\((?P<reg>[A-Za-z_][\w.]*|x\d+|f\d+)\)$")
+_LABEL_EXPR_RE = re.compile(r"^(?P<label>[A-Za-z_.][\w.]*)\s*(?P<off>[+-]\s*\d+)?$")
+
+
+def _tokenize_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [tok.strip() for tok in rest.split(",")]
+
+
+def _parse_int(text: str, line: int) -> int:
+    text = text.strip().replace(" ", "")
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer literal {text!r}", line) from exc
+
+
+class _Assembler:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.slots: list[_Slot] = []
+        self.data_items: list[_DataItem] = []
+        self.symbols: dict[str, int] = {}
+        self.globals: set[str] = set()
+        self._pending_labels: list[tuple[str, int]] = []
+        self._segment = "text"
+
+    # ------------------------------------------------------------- pass 1
+    def parse(self) -> None:
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            if not line:
+                continue
+            # Possibly several "label:" prefixes on one line.
+            while True:
+                m = re.match(r"^([A-Za-z_.][\w.]*)\s*:\s*", line)
+                if not m:
+                    break
+                self._pending_labels.append((m.group(1), lineno))
+                line = line[m.end():]
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, lineno)
+            else:
+                self._instruction(line, lineno)
+        if self._pending_labels:
+            # Trailing labels bind to the end of the current segment.
+            self._bind_labels(end=True)
+
+    def _bind_labels(self, *, end: bool = False) -> None:
+        """Attach pending labels to the next emitted item index."""
+        for name, lineno in self._pending_labels:
+            if name in self._label_targets:
+                raise AssemblerError(f"duplicate label {name!r}", lineno)
+            if self._segment == "text":
+                self._label_targets[name] = ("text", len(self.slots))
+            else:
+                self._label_targets[name] = ("data", len(self.data_items))
+        self._pending_labels = []
+
+    @property
+    def _label_targets(self) -> dict[str, tuple[str, int]]:
+        if not hasattr(self, "_targets"):
+            self._targets: dict[str, tuple[str, int]] = {}
+        return self._targets
+
+    def _directive(self, line: str, lineno: int) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self._segment = "text"
+        elif name == ".data":
+            self._segment = "data"
+        elif name == ".global":
+            self.globals.add(rest.strip())
+        elif name == ".word":
+            self._bind_to_data(lineno)
+            values = [_parse_int(v, lineno) for v in _tokenize_operands(rest)]
+            if not values:
+                raise AssemblerError(".word needs at least one value", lineno)
+            self.data_items.append(_DataItem("word", values, lineno))
+        elif name in (".double", ".float"):
+            self._bind_to_data(lineno)
+            try:
+                values = [float(v) for v in _tokenize_operands(rest)]
+            except ValueError as exc:
+                raise AssemblerError(f"bad float literal in {rest!r}", lineno) from exc
+            if not values:
+                raise AssemblerError(f"{name} needs at least one value", lineno)
+            self.data_items.append(_DataItem("double", values, lineno))
+        elif name == ".space":
+            self._bind_to_data(lineno)
+            nbytes = _parse_int(rest, lineno)
+            if nbytes <= 0:
+                raise AssemblerError(".space needs a positive byte count", lineno)
+            self.data_items.append(_DataItem("space", [align_up(nbytes, 8)], lineno))
+        elif name == ".align":
+            pass  # data is always 8-byte aligned in this image format
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", lineno)
+
+    def _bind_to_data(self, lineno: int) -> None:
+        if self._segment != "data":
+            raise AssemblerError("data directive outside .data segment", lineno)
+        self._bind_labels()
+
+    def _instruction(self, line: str, lineno: int) -> None:
+        if self._segment != "text":
+            raise AssemblerError("instruction outside .text segment", lineno)
+        self._bind_labels()
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _tokenize_operands(parts[1]) if len(parts) > 1 else []
+        for expanded in self._expand_pseudo(mnemonic, operands, lineno):
+            self.slots.append(_Slot(expanded[0], expanded[1], lineno))
+
+    # -------------------------------------------------- pseudo expansion
+    def _expand_pseudo(
+        self, m: str, ops: list[str], lineno: int
+    ) -> list[tuple[str, list[str]]]:
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(f"{m} expects {n} operand(s), got {len(ops)}", lineno)
+
+        if m == "nop":
+            need(0)
+            return [("nopop", [])]
+        if m == "li":
+            need(2)
+            return [("addi", [ops[0], "zero", ops[1]])]
+        if m == "la":
+            need(2)
+            return [("addi", [ops[0], "zero", ops[1]])]
+        if m == "mv":
+            need(2)
+            return [("addi", [ops[0], ops[1], "0"])]
+        if m == "not":
+            need(2)
+            return [("xori", [ops[0], ops[1], "-1"])]
+        if m == "neg":
+            need(2)
+            return [("sub", [ops[0], "zero", ops[1]])]
+        if m == "seqz":
+            need(2)
+            return [("slti", [ops[0], ops[1], "1"]), ("andi", [ops[0], ops[0], "1"])]
+        if m == "snez":
+            need(2)
+            return [("sltu", [ops[0], "zero", ops[1]])]
+        if m == "j":
+            need(1)
+            return [("jal", ["zero", ops[0]])]
+        if m == "jr":
+            need(1)
+            return [("jalr", ["zero", ops[0], "0"])]
+        if m == "call":
+            need(1)
+            return [("jal", ["ra", ops[0]])]
+        if m == "ret":
+            need(0)
+            return [("jalr", ["zero", "ra", "0"])]
+        if m in ("beqz", "bnez", "bltz", "bgez"):
+            need(2)
+            base = {"beqz": "beq", "bnez": "bne", "bltz": "blt", "bgez": "bge"}[m]
+            return [(base, [ops[0], "zero", ops[1]])]
+        if m == "bgtz":
+            need(2)
+            return [("blt", ["zero", ops[0], ops[1]])]
+        if m == "blez":
+            need(2)
+            return [("bge", ["zero", ops[0], ops[1]])]
+        if m in ("bgt", "ble", "bgtu", "bleu"):
+            need(3)
+            base = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}[m]
+            return [(base, [ops[1], ops[0], ops[2]])]
+        if m not in MNEMONICS:
+            raise AssemblerError(f"unknown mnemonic {m!r}", lineno)
+        return [(m, ops)]
+
+    # ------------------------------------------------------------- pass 2
+    def layout(self) -> None:
+        for i, slot in enumerate(self.slots):
+            slot.addr = TEXT_BASE + i * INSTRUCTION_BYTES
+        addr = DATA_BASE
+        for item in self.data_items:
+            item.addr = addr
+            if item.kind == "space":
+                addr += item.values[0]
+            else:
+                addr += 8 * len(item.values)
+        for name, (seg, index) in self._label_targets.items():
+            if seg == "text":
+                if index >= len(self.slots):
+                    self.symbols[name] = TEXT_BASE + index * INSTRUCTION_BYTES
+                else:
+                    self.symbols[name] = self.slots[index].addr
+            else:
+                if index >= len(self.data_items):
+                    self.symbols[name] = addr
+                else:
+                    self.symbols[name] = self.data_items[index].addr
+
+    # ------------------------------------------------------- resolution
+    def _reg(self, tok: str, lineno: int) -> int:
+        reg = REGISTER_NAMES.get(tok.lower())
+        if reg is None:
+            raise AssemblerError(f"unknown integer register {tok!r}", lineno)
+        return reg
+
+    def _freg(self, tok: str, lineno: int) -> int:
+        reg = FREGISTER_NAMES.get(tok.lower())
+        if reg is None:
+            raise AssemblerError(f"unknown float register {tok!r}", lineno)
+        return reg
+
+    def _imm(self, tok: str, lineno: int, *, pc: int | None = None) -> int:
+        """Resolve an immediate: integer literal or label[+off].
+
+        If *pc* is given the result is PC-relative (branch encoding).
+        """
+        tok = tok.strip()
+        try:
+            value = int(tok, 0)
+            return value if pc is None else value
+        except ValueError:
+            pass
+        m = _LABEL_EXPR_RE.match(tok)
+        if not m or m.group("label") not in self.symbols:
+            raise AssemblerError(f"unresolved symbol or bad immediate {tok!r}", lineno)
+        value = self.symbols[m.group("label")]
+        if m.group("off"):
+            value += int(m.group("off").replace(" ", ""))
+        if pc is not None:
+            value -= pc
+        return value
+
+    def encode(self) -> list[Instruction]:
+        out: list[Instruction] = []
+        for slot in self.slots:
+            out.append(self._encode_slot(slot))
+        return out
+
+    def _encode_slot(self, slot: _Slot) -> Instruction:
+        op = MNEMONICS[slot.mnemonic]
+        info = OPINFO[op]
+        ops = slot.operands
+        line = slot.line
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(
+                    f"{slot.mnemonic} expects {n} operand(s), got {len(ops)}", line
+                )
+
+        fmt = info.fmt
+        if fmt is Format.R:
+            need(3)
+            return Instruction(op, self._reg(ops[0], line), self._reg(ops[1], line), self._reg(ops[2], line))
+        if fmt is Format.I:
+            need(3)
+            return Instruction(op, self._reg(ops[0], line), self._reg(ops[1], line), 0, self._imm(ops[2], line))
+        if fmt is Format.LI:
+            need(2)
+            return Instruction(op, self._reg(ops[0], line), 0, 0, self._imm(ops[1], line))
+        if fmt in (Format.LOAD, Format.STORE):
+            need(2)
+            m = _MEMOP_RE.match(ops[1])
+            if not m:
+                raise AssemblerError(f"bad memory operand {ops[1]!r}", line)
+            base = self._reg(m.group("reg"), line)
+            imm = self._imm(m.group("imm") or "0", line)
+            if fmt is Format.LOAD:
+                target = self._freg if op is Op.FLD else self._reg
+                return Instruction(op, target(ops[0], line), base, 0, imm)
+            source = self._freg if op is Op.FSD else self._reg
+            return Instruction(op, 0, base, source(ops[0], line), imm)
+        if fmt is Format.AMO:
+            need(3)
+            m = _MEMOP_RE.match(ops[2]) or _MEMOP_RE.match(f"0{ops[2]}")
+            if not m:
+                raise AssemblerError(f"bad AMO address operand {ops[2]!r}", line)
+            return Instruction(
+                op,
+                self._reg(ops[0], line),
+                self._reg(m.group("reg"), line),
+                self._reg(ops[1], line),
+                self._imm(m.group("imm") or "0", line),
+            )
+        if fmt is Format.B:
+            need(3)
+            return Instruction(
+                op,
+                0,
+                self._reg(ops[0], line),
+                self._reg(ops[1], line),
+                self._imm(ops[2], line, pc=slot.addr),
+            )
+        if fmt is Format.J:
+            need(2)
+            return Instruction(op, self._reg(ops[0], line), 0, 0, self._imm(ops[1], line, pc=slot.addr))
+        if fmt is Format.JR:
+            need(3)
+            return Instruction(op, self._reg(ops[0], line), self._reg(ops[1], line), 0, self._imm(ops[2], line))
+        if fmt is Format.FR:
+            need(3)
+            return Instruction(op, self._freg(ops[0], line), self._freg(ops[1], line), self._freg(ops[2], line))
+        if fmt is Format.FR2:
+            need(2)
+            return Instruction(op, self._freg(ops[0], line), self._freg(ops[1], line))
+        if fmt is Format.FCMP:
+            need(3)
+            return Instruction(op, self._reg(ops[0], line), self._freg(ops[1], line), self._freg(ops[2], line))
+        if fmt is Format.FI:
+            need(2)
+            return Instruction(op, self._freg(ops[0], line), self._reg(ops[1], line))
+        if fmt is Format.IF:
+            need(2)
+            return Instruction(op, self._reg(ops[0], line), self._freg(ops[1], line))
+        if fmt is Format.SYS:
+            need(0)
+            return Instruction(op)
+        raise AssemblerError(f"unhandled format {fmt} for {slot.mnemonic}", line)
+
+    def data_bytes(self) -> bytes:
+        import struct
+
+        chunks: list[bytes] = []
+        for item in self.data_items:
+            if item.kind == "word":
+                for v in item.values:
+                    chunks.append(struct.pack("<Q", v & ((1 << 64) - 1)))
+            elif item.kind == "double":
+                for v in item.values:
+                    chunks.append(struct.pack("<d", v))
+            else:  # space
+                chunks.append(bytes(item.values[0]))
+        return b"".join(chunks)
+
+
+def assemble(source: str, *, name: str = "<asm>") -> Program:
+    """Assemble *source* into a :class:`~repro.isa.program.Program`."""
+    asm = _Assembler(source)
+    asm.parse()
+    asm.layout()
+    text = asm.encode()
+    data = asm.data_bytes()
+    entry = asm.symbols.get("main", TEXT_BASE)
+    return Program(
+        name=name,
+        text=tuple(text),
+        data=data,
+        symbols=dict(asm.symbols),
+        entry=entry,
+        exported=frozenset(asm.globals),
+    )

@@ -1,0 +1,76 @@
+"""SPISA disassembler: decoded instructions back to canonical assembly text.
+
+``format_instruction`` emits the same syntax the assembler accepts, so for
+every instruction ``i``: ``assemble(format_instruction(i))`` re-encodes to
+``i`` (modulo label-relative immediates, which are printed numerically).
+This round-trip is property-tested in ``tests/isa/test_encoding.py``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPINFO, Format, Op
+
+__all__ = ["format_instruction", "disassemble_word"]
+
+_INT_REG = (
+    ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1"]
+    + [f"a{i}" for i in range(8)]
+    + [f"s{i}" for i in range(2, 12)]
+    + [f"t{i}" for i in range(3, 7)]
+)
+_F_REG = [f"f{i}" for i in range(32)]
+
+
+def _x(i: int) -> str:
+    return _INT_REG[i] if 0 <= i < 32 else f"x{i}"
+
+
+def _f(i: int) -> str:
+    return _F_REG[i] if 0 <= i < 32 else f"f{i}"
+
+
+def format_instruction(insn: Instruction) -> str:
+    """Render *insn* as canonical assembly text."""
+    info = OPINFO[insn.op]
+    m = info.mnemonic
+    fmt = info.fmt
+    if fmt is Format.R:
+        return f"{m} {_x(insn.rd)}, {_x(insn.rs1)}, {_x(insn.rs2)}"
+    if fmt is Format.I:
+        return f"{m} {_x(insn.rd)}, {_x(insn.rs1)}, {insn.imm}"
+    if fmt is Format.LI:
+        return f"{m} {_x(insn.rd)}, {insn.imm}"
+    if fmt is Format.LOAD:
+        dst = _f(insn.rd) if insn.op is Op.FLD else _x(insn.rd)
+        return f"{m} {dst}, {insn.imm}({_x(insn.rs1)})"
+    if fmt is Format.STORE:
+        src = _f(insn.rs2) if insn.op is Op.FSD else _x(insn.rs2)
+        return f"{m} {src}, {insn.imm}({_x(insn.rs1)})"
+    if fmt is Format.AMO:
+        suffix = f"{insn.imm}({_x(insn.rs1)})" if insn.imm else f"({_x(insn.rs1)})"
+        return f"{m} {_x(insn.rd)}, {_x(insn.rs2)}, {suffix}"
+    if fmt is Format.B:
+        return f"{m} {_x(insn.rs1)}, {_x(insn.rs2)}, {insn.imm}"
+    if fmt is Format.J:
+        return f"{m} {_x(insn.rd)}, {insn.imm}"
+    if fmt is Format.JR:
+        return f"{m} {_x(insn.rd)}, {_x(insn.rs1)}, {insn.imm}"
+    if fmt is Format.FR:
+        return f"{m} {_f(insn.rd)}, {_f(insn.rs1)}, {_f(insn.rs2)}"
+    if fmt is Format.FR2:
+        return f"{m} {_f(insn.rd)}, {_f(insn.rs1)}"
+    if fmt is Format.FCMP:
+        return f"{m} {_x(insn.rd)}, {_f(insn.rs1)}, {_f(insn.rs2)}"
+    if fmt is Format.FI:
+        return f"{m} {_f(insn.rd)}, {_x(insn.rs1)}"
+    if fmt is Format.IF:
+        return f"{m} {_x(insn.rd)}, {_f(insn.rs1)}"
+    if fmt is Format.SYS:
+        return m
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def disassemble_word(word: int) -> str:
+    """Decode and format a raw 64-bit instruction word."""
+    return format_instruction(Instruction.decode(word))

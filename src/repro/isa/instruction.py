@@ -1,0 +1,121 @@
+"""SPISA instruction representation and fixed-width binary encoding.
+
+An :class:`Instruction` is a frozen record of ``(op, rd, rs1, rs2, imm)``.
+The binary encoding packs it into a single 64-bit word::
+
+    [63:56] opcode   (8 bits)
+    [55:50] rd       (6 bits)
+    [49:44] rs1      (6 bits)
+    [43:38] rs2      (6 bits)
+    [37:32] reserved (must be zero)
+    [31:0]  imm      (signed 32-bit two's complement)
+
+Encoding and decoding round-trip exactly (property-tested in
+``tests/isa/test_encoding.py``), which is what lets program images be stored
+as flat ``uint64`` arrays in target memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import sign_extend
+from repro.isa.opcodes import OPINFO, Format, Op, OpInfo, Unit
+
+__all__ = ["Instruction", "EncodingError", "INSTRUCTION_BYTES"]
+
+#: Instructions occupy one 8-byte word in target memory.
+INSTRUCTION_BYTES = 8
+
+_IMM_MIN = -(1 << 31)
+_IMM_MAX = (1 << 31) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded/decoded."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded SPISA instruction.
+
+    ``rd``/``rs1``/``rs2`` index the integer or float register file depending
+    on the opcode's format (see :class:`repro.isa.opcodes.Format`).
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def info(self) -> OpInfo:
+        """Static metadata for this instruction's opcode."""
+        return OPINFO[self.op]
+
+    @property
+    def unit(self) -> Unit:
+        return self.info.unit
+
+    @property
+    def latency(self) -> int:
+        return self.info.latency
+
+    @property
+    def is_mem(self) -> bool:
+        return self.info.is_load or self.info.is_store
+
+    def validate(self) -> None:
+        """Raise :class:`EncodingError` if any field is out of range."""
+        for name, reg in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if not 0 <= reg < 64:
+                raise EncodingError(f"{name}={reg} out of range for {self.op.name}")
+        if not _IMM_MIN <= self.imm <= _IMM_MAX:
+            raise EncodingError(
+                f"imm={self.imm} does not fit in signed 32 bits for {self.op.name}"
+            )
+
+    def encode(self) -> int:
+        """Pack into a 64-bit word (unsigned Python int)."""
+        self.validate()
+        return (
+            (int(self.op) << 56)
+            | (self.rd << 50)
+            | (self.rs1 << 44)
+            | (self.rs2 << 38)
+            | (self.imm & 0xFFFFFFFF)
+        )
+
+    @classmethod
+    def decode(cls, word: int) -> "Instruction":
+        """Unpack a 64-bit word; raises :class:`EncodingError` on bad opcodes."""
+        if not 0 <= word < (1 << 64):
+            raise EncodingError(f"word {word:#x} is not a 64-bit value")
+        opcode = (word >> 56) & 0xFF
+        try:
+            op = Op(opcode)
+        except ValueError as exc:
+            raise EncodingError(f"unknown opcode {opcode:#04x}") from exc
+        if (word >> 32) & 0x3F:
+            raise EncodingError(f"reserved bits set in {word:#018x}")
+        return cls(
+            op=op,
+            rd=(word >> 50) & 0x3F,
+            rs1=(word >> 44) & 0x3F,
+            rs2=(word >> 38) & 0x3F,
+            imm=sign_extend(word & 0xFFFFFFFF, 32),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.isa.disassembler import format_instruction
+
+        return format_instruction(self)
+
+
+def _nop() -> Instruction:
+    return Instruction(Op.NOPOP)
+
+
+#: Canonical no-op instruction.
+NOP = _nop()

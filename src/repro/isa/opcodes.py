@@ -1,0 +1,231 @@
+"""SPISA opcode definitions.
+
+SPISA ("SlackSim PISA") is the from-scratch 64-bit RISC instruction set that
+replaces SimpleScalar's PISA in this reproduction (DESIGN.md §2).  It is a
+load/store architecture with:
+
+* 32 integer registers ``x0..x31`` (``x0`` hardwired to zero),
+* 32 double-precision float registers ``f0..f31``,
+* byte-addressed memory with aligned 8-byte word accesses,
+* fixed-width 64-bit instruction encoding (see :mod:`repro.isa.instruction`).
+
+Every opcode carries static metadata: its operand *format*, the functional
+*unit* that executes it, and its execution *latency* in target cycles.  The
+core models (:mod:`repro.cpu`) read all their timing from this table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Op", "Format", "Unit", "OpInfo", "OPINFO", "MNEMONICS"]
+
+
+class Format(enum.Enum):
+    """Operand formats (assembly syntax / field usage)."""
+
+    R = "r"        # op rd, rs1, rs2
+    I = "i"        # op rd, rs1, imm
+    LOAD = "load"  # op rd, imm(rs1)
+    STORE = "store"  # op rs2, imm(rs1)
+    B = "b"        # op rs1, rs2, label
+    J = "j"        # op rd, label
+    JR = "jr"      # op rd, rs1, imm
+    FR = "fr"      # op fd, fs1, fs2     (float regs)
+    FR2 = "fr2"    # op fd, fs1          (unary float)
+    FCMP = "fcmp"  # op rd, fs1, fs2     (float compare -> int reg)
+    FI = "fi"      # op fd, rs1          (int -> float conversions / moves)
+    IF = "if"      # op rd, fs1          (float -> int conversions / moves)
+    AMO = "amo"    # op rd, rs2, (rs1)   (atomic read-modify-write)
+    SYS = "sys"    # op                  (no operands)
+    LI = "li"      # op rd, imm          (immediate materialisation)
+
+
+class Unit(enum.Enum):
+    """Functional-unit class; OoO issue ports are per-unit."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    BRANCH = "branch"
+    MEM = "mem"
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    SYS = "sys"
+
+
+class Op(enum.IntEnum):
+    """SPISA opcodes.  Values are the 8-bit encoding field."""
+
+    # Integer register-register.
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    DIV = 0x04
+    REM = 0x05
+    AND = 0x06
+    OR = 0x07
+    XOR = 0x08
+    SLL = 0x09
+    SRL = 0x0A
+    SRA = 0x0B
+    SLT = 0x0C
+    SLTU = 0x0D
+
+    # Integer register-immediate.
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SLLI = 0x14
+    SRLI = 0x15
+    SRAI = 0x16
+    SLTI = 0x17
+    LUI = 0x18
+
+    # Memory.
+    LD = 0x20
+    SD = 0x21
+    FLD = 0x22
+    FSD = 0x23
+    AMOSWAP = 0x24
+    AMOADD = 0x25
+
+    # Control flow.
+    BEQ = 0x30
+    BNE = 0x31
+    BLT = 0x32
+    BGE = 0x33
+    BLTU = 0x34
+    BGEU = 0x35
+    JAL = 0x36
+    JALR = 0x37
+
+    # Floating point.
+    FADD = 0x40
+    FSUB = 0x41
+    FMUL = 0x42
+    FDIV = 0x43
+    FMIN = 0x44
+    FMAX = 0x45
+    FSQRT = 0x46
+    FNEG = 0x47
+    FABS = 0x48
+    FMV = 0x49      # fd <- fs1
+    FEQ = 0x4A
+    FLT = 0x4B
+    FLE = 0x4C
+    FCVT_D_L = 0x4D  # fd <- (double) rs1
+    FCVT_L_D = 0x4E  # rd <- (long, trunc) fs1
+    FMV_D_X = 0x4F   # fd <- bits(rs1)
+    FMV_X_D = 0x50   # rd <- bits(fs1)
+    FSIN = 0x51      # fd <- sin(fs1)
+    FCOS = 0x52      # fd <- cos(fs1)
+
+    # System.
+    ECALL = 0x60
+    HALT = 0x61
+    NOPOP = 0x62
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    op: "Op"
+    mnemonic: str
+    fmt: Format
+    unit: Unit
+    latency: int
+    writes_int: bool = False
+    writes_float: bool = False
+    reads_int: tuple[str, ...] = ()    # subset of ("rs1", "rs2")
+    reads_float: tuple[str, ...] = ()  # subset of ("rs1", "rs2")
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_amo: bool = False
+
+
+def _info(op, mnem, fmt, unit, lat, **kw) -> OpInfo:
+    return OpInfo(op, mnem, fmt, unit, lat, **kw)
+
+
+_R = dict(writes_int=True, reads_int=("rs1", "rs2"))
+_I = dict(writes_int=True, reads_int=("rs1",))
+_B = dict(reads_int=("rs1", "rs2"), is_branch=True)
+_F = dict(writes_float=True, reads_float=("rs1", "rs2"))
+_F1 = dict(writes_float=True, reads_float=("rs1",))
+_FC = dict(writes_int=True, reads_float=("rs1", "rs2"))
+
+OPINFO: dict[Op, OpInfo] = {
+    i.op: i
+    for i in [
+        _info(Op.ADD, "add", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.SUB, "sub", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.MUL, "mul", Format.R, Unit.IMUL, 3, **_R),
+        _info(Op.DIV, "div", Format.R, Unit.IDIV, 12, **_R),
+        _info(Op.REM, "rem", Format.R, Unit.IDIV, 12, **_R),
+        _info(Op.AND, "and", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.OR, "or", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.XOR, "xor", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.SLL, "sll", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.SRL, "srl", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.SRA, "sra", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.SLT, "slt", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.SLTU, "sltu", Format.R, Unit.IALU, 1, **_R),
+        _info(Op.ADDI, "addi", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.ANDI, "andi", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.ORI, "ori", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.XORI, "xori", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.SLLI, "slli", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.SRLI, "srli", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.SRAI, "srai", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.SLTI, "slti", Format.I, Unit.IALU, 1, **_I),
+        _info(Op.LUI, "lui", Format.LI, Unit.IALU, 1, writes_int=True),
+        _info(Op.LD, "ld", Format.LOAD, Unit.MEM, 1, writes_int=True, reads_int=("rs1",), is_load=True),
+        _info(Op.SD, "sd", Format.STORE, Unit.MEM, 1, reads_int=("rs1", "rs2"), is_store=True),
+        _info(Op.FLD, "fld", Format.LOAD, Unit.MEM, 1, writes_float=True, reads_int=("rs1",), is_load=True),
+        _info(Op.FSD, "fsd", Format.STORE, Unit.MEM, 1, reads_int=("rs1",), reads_float=("rs2",), is_store=True),
+        _info(Op.AMOSWAP, "amoswap", Format.AMO, Unit.MEM, 1, writes_int=True, reads_int=("rs1", "rs2"), is_load=True, is_store=True, is_amo=True),
+        _info(Op.AMOADD, "amoadd", Format.AMO, Unit.MEM, 1, writes_int=True, reads_int=("rs1", "rs2"), is_load=True, is_store=True, is_amo=True),
+        _info(Op.BEQ, "beq", Format.B, Unit.BRANCH, 1, **_B),
+        _info(Op.BNE, "bne", Format.B, Unit.BRANCH, 1, **_B),
+        _info(Op.BLT, "blt", Format.B, Unit.BRANCH, 1, **_B),
+        _info(Op.BGE, "bge", Format.B, Unit.BRANCH, 1, **_B),
+        _info(Op.BLTU, "bltu", Format.B, Unit.BRANCH, 1, **_B),
+        _info(Op.BGEU, "bgeu", Format.B, Unit.BRANCH, 1, **_B),
+        _info(Op.JAL, "jal", Format.J, Unit.BRANCH, 1, writes_int=True, is_branch=True),
+        _info(Op.JALR, "jalr", Format.JR, Unit.BRANCH, 1, writes_int=True, reads_int=("rs1",), is_branch=True),
+        _info(Op.FADD, "fadd", Format.FR, Unit.FADD, 3, **_F),
+        _info(Op.FSUB, "fsub", Format.FR, Unit.FADD, 3, **_F),
+        _info(Op.FMUL, "fmul", Format.FR, Unit.FMUL, 4, **_F),
+        _info(Op.FDIV, "fdiv", Format.FR, Unit.FDIV, 12, **_F),
+        _info(Op.FMIN, "fmin", Format.FR, Unit.FADD, 3, **_F),
+        _info(Op.FMAX, "fmax", Format.FR, Unit.FADD, 3, **_F),
+        _info(Op.FSQRT, "fsqrt", Format.FR2, Unit.FDIV, 16, **_F1),
+        _info(Op.FNEG, "fneg", Format.FR2, Unit.FADD, 1, **_F1),
+        _info(Op.FABS, "fabs", Format.FR2, Unit.FADD, 1, **_F1),
+        _info(Op.FMV, "fmv", Format.FR2, Unit.FADD, 1, **_F1),
+        _info(Op.FSIN, "fsin", Format.FR2, Unit.FDIV, 20, **_F1),
+        _info(Op.FCOS, "fcos", Format.FR2, Unit.FDIV, 20, **_F1),
+        _info(Op.FEQ, "feq", Format.FCMP, Unit.FADD, 3, **_FC),
+        _info(Op.FLT, "flt", Format.FCMP, Unit.FADD, 3, **_FC),
+        _info(Op.FLE, "fle", Format.FCMP, Unit.FADD, 3, **_FC),
+        _info(Op.FCVT_D_L, "fcvt.d.l", Format.FI, Unit.FADD, 3, writes_float=True, reads_int=("rs1",)),
+        _info(Op.FCVT_L_D, "fcvt.l.d", Format.IF, Unit.FADD, 3, writes_int=True, reads_float=("rs1",)),
+        _info(Op.FMV_D_X, "fmv.d.x", Format.FI, Unit.FADD, 1, writes_float=True, reads_int=("rs1",)),
+        _info(Op.FMV_X_D, "fmv.x.d", Format.IF, Unit.FADD, 1, writes_int=True, reads_float=("rs1",)),
+        _info(Op.ECALL, "ecall", Format.SYS, Unit.SYS, 1),
+        _info(Op.HALT, "halt", Format.SYS, Unit.SYS, 1),
+        _info(Op.NOPOP, "nopop", Format.SYS, Unit.IALU, 1),
+    ]
+}
+
+#: Map mnemonic -> Op for the assembler.
+MNEMONICS: dict[str, Op] = {info.mnemonic: op for op, info in OPINFO.items()}
+
+# Sanity: metadata covers every opcode exactly once.
+assert len(OPINFO) == len(Op), "every Op must have OpInfo"

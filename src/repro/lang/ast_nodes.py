@@ -1,0 +1,210 @@
+"""Slang abstract syntax tree.
+
+Nodes are plain dataclasses.  ``Expr`` nodes gain a ``type`` attribute during
+semantic analysis (:mod:`repro.lang.sema`); lvalue-ness is a structural
+property (:func:`is_lvalue`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import SourcePos
+from repro.lang.types import Type
+
+__all__ = [
+    "Node",
+    "Expr",
+    "IntLit",
+    "FloatLit",
+    "Name",
+    "Unary",
+    "Binary",
+    "Assign",
+    "Call",
+    "Index",
+    "Cast",
+    "Stmt",
+    "ExprStmt",
+    "VarDecl",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "Block",
+    "Param",
+    "FuncDef",
+    "GlobalDecl",
+    "Unit",
+    "is_lvalue",
+]
+
+
+@dataclass
+class Node:
+    pos: SourcePos
+
+
+# --------------------------------------------------------------- expressions
+@dataclass
+class Expr(Node):
+    #: Filled in by sema.
+    type: Type | None = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Name(Expr):
+    name: str
+    #: Filled by sema: "local" | "param" | "global" | "func"
+    binding: str | None = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # "-" "!" "~" "*" "&"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic/logic/compare token text
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: str
+    args: list[Expr]
+    #: Filled by sema for builtin calls (name of the builtin), else None.
+    builtin: str | None = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type
+    operand: Expr
+
+
+# ---------------------------------------------------------------- statements
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    var_type: Type
+    init: Expr | None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    orelse: "Block | If | None"
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass
+class For(Stmt):
+    init: Expr | VarDecl | None
+    cond: Expr | None
+    step: Expr | None
+    body: "Block"
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt]
+
+
+# ----------------------------------------------------------------- top level
+@dataclass
+class Param(Node):
+    name: str
+    param_type: Type
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: Block
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str
+    var_type: Type
+    init: int | float | list | None  # constant initializer (folded by parser)
+
+
+@dataclass
+class Unit(Node):
+    """A whole translation unit."""
+
+    globals: list[GlobalDecl]
+    functions: list[FuncDef]
+
+
+def is_lvalue(expr: Expr) -> bool:
+    """True if *expr* designates a storage location."""
+    if isinstance(expr, Name):
+        return expr.binding in ("local", "param", "global")
+    if isinstance(expr, Index):
+        return True
+    if isinstance(expr, Unary) and expr.op == "*":
+        return True
+    return False

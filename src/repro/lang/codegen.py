@@ -1,0 +1,760 @@
+"""Slang code generation: typed AST -> SPISA assembly text.
+
+Strategy: a *register stack*.  Expression evaluation pushes values onto a
+virtual stack whose top entries live in caller-saved temporaries (``t0-t6``
+for ints/pointers, ``ft0-ft7`` for floats); when a class runs out the
+bottom-most in-register entry is spilled to a frame slot (it will be needed
+last, preserving stack discipline).  User function calls spill the whole
+stack because callees reuse the same temporaries.
+
+Frame layout (``s0`` anchors the frame top == caller's ``sp``)::
+
+    s0 -  8   saved ra
+    s0 - 16   saved s0
+    s0 - 16 - 8*k        variable slots (params copied in, then locals;
+                         local arrays occupy their full extent)
+    below slots          spill area (size = watermark of the register stack)
+
+Calling convention: up to 8 arguments, argument *i* in ``a_i`` or ``fa_i`` by
+declared type; results in ``a0``/``fa0``; ``t*``/``ft*``/``a*`` caller-saved;
+``s0``/``sp``/``ra`` managed by prologue/epilogue.  Syscalls (``ecall``)
+preserve every register except the ``a0`` result — the emulation layer
+guarantees this, which lets builtins avoid spills entirely.
+
+The runtime stub gives every program the same shape: label ``main`` (the
+entry) calls the user's ``fn_main`` and exits with its return value; spawned
+threads start at their function with ``ra = __thread_exit``, a stub that
+issues ``exit(0)``.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import CodegenError
+from repro.lang.sema import BUILTINS
+from repro.lang.types import FLOAT, INT, Type
+from repro.sysapi.syscalls import Sys
+
+__all__ = ["generate"]
+
+_INT_TEMPS = ["t0", "t1", "t2", "t3", "t4", "t5", "t6"]
+_FLOAT_TEMPS = [f"ft{i}" for i in range(8)]
+
+#: Builtins lowered to inline instructions rather than syscalls.
+_INLINE_BUILTINS = {"sqrt", "sin", "cos", "fabs", "fmin", "fmax", "abs", "atomic_add", "atomic_swap"}
+
+#: Builtin name -> syscall number for the trap-based builtins.
+_SYSCALL_BUILTINS = {
+    "print_int": Sys.PRINT_INT,
+    "print_float": Sys.PRINT_FLOAT,
+    "print_char": Sys.PRINT_CHAR,
+    "exit": Sys.EXIT,
+    "sbrk": Sys.SBRK,
+    "clock": Sys.CLOCK,
+    "thread_id": Sys.THREAD_ID,
+    "num_threads": Sys.NUM_THREADS,
+    "spawn": Sys.THREAD_SPAWN,
+    "join": Sys.THREAD_JOIN,
+    "init_lock": Sys.LOCK_INIT,
+    "lock": Sys.LOCK_ACQ,
+    "unlock": Sys.LOCK_REL,
+    "init_barrier": Sys.BARRIER_INIT,
+    "barrier": Sys.BARRIER_WAIT,
+    "init_sema": Sys.SEMA_INIT,
+    "sema_wait": Sys.SEMA_WAIT,
+    "sema_signal": Sys.SEMA_SIGNAL,
+}
+
+
+class _Entry:
+    """One value on the virtual evaluation stack."""
+
+    __slots__ = ("is_float", "reg", "spill")
+
+    def __init__(self, is_float: bool, reg: str | None, spill: int | None = None) -> None:
+        self.is_float = is_float
+        self.reg = reg      # register name, or None when spilled
+        self.spill = spill  # spill slot index, or None when in a register
+
+
+class _FuncGen:
+    """Code generator for a single function."""
+
+    def __init__(self, cg: "_CodeGen", fn: A.FuncDef) -> None:
+        self.cg = cg
+        self.fn = fn
+        self.lines: list[str] = []
+        self.stack: list[_Entry] = []
+        self.free_int = list(_INT_TEMPS)
+        self.free_float = list(_FLOAT_TEMPS)
+        self.spill_free: list[int] = []
+        self.spill_next = 0
+        self.max_spill = 0
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        # Slot word offsets: slot k occupies words [start, start+w).
+        self.slot_offset: list[int] = []
+        cum = 0
+        for _ty, words in fn.frame_slots:  # type: ignore[attr-defined]
+            cum += words
+            self.slot_offset.append(cum)  # offset of slot END in words
+        self.total_slot_words = cum
+
+    # -------------------------------------------------------------- emission
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    # ---------------------------------------------------------- frame offsets
+    def slot_addr_offset(self, slot: int) -> int:
+        """Byte offset (from s0) of the lowest address of *slot*."""
+        return -16 - 8 * self.slot_offset[slot]
+
+    def _spill_offset(self, spill: int) -> int:
+        return -16 - 8 * self.total_slot_words - 8 * (spill + 1)
+
+    def _take_spill(self) -> int:
+        if self.spill_free:
+            return self.spill_free.pop()
+        slot = self.spill_next
+        self.spill_next += 1
+        self.max_spill = max(self.max_spill, self.spill_next)
+        return slot
+
+    def _release_spill(self, slot: int) -> None:
+        self.spill_free.append(slot)
+        if slot == self.spill_next - 1:
+            self.spill_next -= 1
+            self.spill_free.remove(slot)
+
+    # ------------------------------------------------------- stack operations
+    def _spill_entry(self, entry: _Entry) -> None:
+        assert entry.reg is not None
+        slot = self._take_spill()
+        off = self._spill_offset(slot)
+        if entry.is_float:
+            self.emit(f"fsd {entry.reg}, {off}(s0)")
+            self.free_float.append(entry.reg)
+        else:
+            self.emit(f"sd {entry.reg}, {off}(s0)")
+            self.free_int.append(entry.reg)
+        entry.reg = None
+        entry.spill = slot
+
+    def _spill_bottom(self, is_float: bool) -> None:
+        for entry in self.stack:
+            if entry.is_float == is_float and entry.reg is not None:
+                self._spill_entry(entry)
+                return
+        raise CodegenError("expression too complex: register stack exhausted", self.fn.pos)
+
+    def _alloc_reg(self, is_float: bool) -> str:
+        pool = self.free_float if is_float else self.free_int
+        if not pool:
+            self._spill_bottom(is_float)
+        return pool.pop()
+
+    def push(self, is_float: bool) -> str:
+        """Allocate a register, push it on the stack, return its name."""
+        reg = self._alloc_reg(is_float)
+        self.stack.append(_Entry(is_float, reg))
+        return reg
+
+    def push_spilled(self, is_float: bool, spill: int) -> None:
+        self.stack.append(_Entry(is_float, None, spill))
+
+    def pop(self) -> tuple[str, bool]:
+        """Pop the top entry into a register; returns (reg, is_float).
+
+        The register stays *checked out* — it is not eligible for
+        reallocation until the caller hands it back with :meth:`free` (or
+        re-pushes it with :meth:`push_reg`).  This prevents a reload or a
+        scratch allocation from clobbering an operand that has been popped
+        but not yet consumed.
+        """
+        entry = self.stack.pop()
+        if entry.reg is None:
+            assert entry.spill is not None
+            reg = self._alloc_reg(entry.is_float)
+            off = self._spill_offset(entry.spill)
+            self.emit(f"fld {reg}, {off}(s0)" if entry.is_float else f"ld {reg}, {off}(s0)")
+            self._release_spill(entry.spill)
+            entry.reg = reg
+        return entry.reg, entry.is_float
+
+    def free(self, reg: str, is_float: bool) -> None:
+        """Return a checked-out register to the free pool."""
+        pool = self.free_float if is_float else self.free_int
+        assert reg not in pool, f"double free of {reg}"
+        pool.append(reg)
+
+    def push_reg(self, reg: str, is_float: bool) -> None:
+        """Push a checked-out register as a new stack entry."""
+        self.stack.append(_Entry(is_float, reg))
+
+    def spill_all(self) -> None:
+        """Move every in-register stack entry to spill slots (around calls)."""
+        for entry in self.stack:
+            if entry.reg is not None:
+                self._spill_entry(entry)
+
+    # ------------------------------------------------------------ entry point
+    def generate(self) -> list[str]:
+        body: list[str] = []
+        self.lines = body
+        self._gen_block(self.fn.body)
+        # Fall off the end: implicit `return` (value undefined for non-void,
+        # as in C; we return 0 for safety).
+        self.emit("li a0, 0")
+        frame = 16 + 8 * self.total_slot_words + 8 * self.max_spill
+        frame = (frame + 15) & ~15
+        head: list[str] = [f"fn_{self.fn.name}:"]
+        head.append(f"    addi sp, sp, -{frame}")
+        head.append(f"    sd ra, {frame - 8}(sp)")
+        head.append(f"    sd s0, {frame - 16}(sp)")
+        head.append(f"    addi s0, sp, {frame}")
+        for i, param in enumerate(self.fn.params):
+            off = self.slot_addr_offset(i)
+            if param.param_type.decay().is_float:
+                head.append(f"    fsd fa{i}, {off}(s0)")
+            else:
+                head.append(f"    sd a{i}, {off}(s0)")
+        tail = [
+            f"Lret_{self.fn.name}:",
+            "    addi sp, s0, 0",
+            "    ld ra, -8(sp)",
+            "    ld s0, -16(sp)",
+            "    ret",
+        ]
+        return head + body + tail
+
+    # -------------------------------------------------------------- statements
+    def _gen_block(self, block: A.Block) -> None:
+        for stmt in block.body:
+            self._gen_stmt(stmt)
+            assert not self.stack, f"value stack not empty after {type(stmt).__name__}"
+
+    def _gen_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self._gen_expr(stmt.expr)
+            if stmt.expr.type is not None and not stmt.expr.type.is_void:
+                self.free(*self.pop())
+        elif isinstance(stmt, A.VarDecl):
+            if stmt.init is not None:
+                self._gen_expr(stmt.init)
+                reg, is_float = self.pop()
+                off = self.slot_addr_offset(stmt.slot)  # type: ignore[attr-defined]
+                self.emit(f"fsd {reg}, {off}(s0)" if is_float else f"sd {reg}, {off}(s0)")
+                self.free(reg, is_float)
+        elif isinstance(stmt, A.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+                reg, is_float = self.pop()
+                self.emit(f"fmv fa0, {reg}" if is_float else f"mv a0, {reg}")
+                self.free(reg, is_float)
+            self.emit(f"j Lret_{self.fn.name}")
+        elif isinstance(stmt, A.Break):
+            self.emit(f"j {self.break_labels[-1]}")
+        elif isinstance(stmt, A.Continue):
+            self.emit(f"j {self.continue_labels[-1]}")
+        else:  # pragma: no cover
+            raise AssertionError(type(stmt).__name__)
+
+    def _gen_condition(self, cond: A.Expr, false_label: str) -> None:
+        self._gen_expr(cond)
+        reg, is_float = self.pop()
+        self.emit(f"beqz {reg}, {false_label}")
+        self.free(reg, is_float)
+
+    def _gen_if(self, stmt: A.If) -> None:
+        else_label = self.cg.new_label()
+        end_label = self.cg.new_label() if stmt.orelse is not None else else_label
+        self._gen_condition(stmt.cond, else_label)
+        self._gen_block(stmt.then)
+        if stmt.orelse is not None:
+            self.emit(f"j {end_label}")
+            self.label(else_label)
+            if isinstance(stmt.orelse, A.If):
+                self._gen_stmt(stmt.orelse)
+            else:
+                self._gen_block(stmt.orelse)
+            self.label(end_label)
+        else:
+            self.label(else_label)
+
+    def _gen_while(self, stmt: A.While) -> None:
+        top = self.cg.new_label()
+        end = self.cg.new_label()
+        self.label(top)
+        self._gen_condition(stmt.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(top)
+        self._gen_block(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(f"j {top}")
+        self.label(end)
+
+    def _gen_for(self, stmt: A.For) -> None:
+        top = self.cg.new_label()
+        step_label = self.cg.new_label()
+        end = self.cg.new_label()
+        if isinstance(stmt.init, A.VarDecl):
+            self._gen_stmt(stmt.init)
+        elif stmt.init is not None:
+            self._gen_expr(stmt.init)
+            if stmt.init.type is not None and not stmt.init.type.is_void:
+                self.free(*self.pop())
+        self.label(top)
+        if stmt.cond is not None:
+            self._gen_condition(stmt.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(step_label)
+        self._gen_block(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.label(step_label)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+            if stmt.step.type is not None and not stmt.step.type.is_void:
+                self.free(*self.pop())
+        self.emit(f"j {top}")
+        self.label(end)
+
+    # ------------------------------------------------------------- expressions
+    def _gen_expr(self, expr: A.Expr) -> None:
+        """Generate code that pushes the value of *expr* (unless void)."""
+        if isinstance(expr, A.IntLit):
+            reg = self.push(False)
+            self.emit(f"li {reg}, {expr.value}")
+        elif isinstance(expr, A.FloatLit):
+            self._gen_float_const(expr.value)
+        elif isinstance(expr, A.Name):
+            self._gen_name(expr)
+        elif isinstance(expr, A.Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, A.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, A.Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, A.Call):
+            self._gen_call(expr)
+        elif isinstance(expr, A.Index):
+            self._gen_addr(expr)
+            self._load_from_top(expr.type)
+        elif isinstance(expr, A.Cast):
+            self._gen_cast(expr)
+        else:  # pragma: no cover
+            raise AssertionError(type(expr).__name__)
+
+    def _gen_float_const(self, value: float) -> None:
+        label = self.cg.float_const(value)
+        addr = self.push(False)
+        self.emit(f"la {addr}, {label}")
+        self.free(*self.pop())
+        reg = self.push(True)
+        self.emit(f"fld {reg}, 0({addr})")
+
+    def _load_from_top(self, ty: Type | None) -> None:
+        """Replace the address on top of the stack with the loaded value."""
+        assert ty is not None
+        addr, _ = self.pop()
+        self.free(addr, False)
+        if ty.is_float:
+            reg = self.push(True)
+            self.emit(f"fld {reg}, 0({addr})")
+        else:
+            reg = self.push(False)
+            self.emit(f"ld {reg}, 0({addr})")
+
+    def _gen_name(self, expr: A.Name) -> None:
+        ty = expr.type
+        assert ty is not None
+        if expr.binding == "func":
+            reg = self.push(False)
+            self.emit(f"la {reg}, fn_{expr.name}")
+            return
+        if ty.is_array:
+            self._gen_addr(expr)  # decay to pointer
+            return
+        if expr.binding == "global":
+            addr = self.push(False)
+            self.emit(f"la {addr}, g_{expr.name}")
+            self.free(*self.pop())
+            if ty.is_float:
+                reg = self.push(True)
+                self.emit(f"fld {reg}, 0({addr})")
+            else:
+                reg = self.push(False)
+                self.emit(f"ld {reg}, 0({addr})")
+            return
+        off = self.slot_addr_offset(expr.slot)  # type: ignore[attr-defined]
+        if ty.is_float:
+            reg = self.push(True)
+            self.emit(f"fld {reg}, {off}(s0)")
+        else:
+            reg = self.push(False)
+            self.emit(f"ld {reg}, {off}(s0)")
+
+    def _gen_addr(self, expr: A.Expr) -> None:
+        """Push the address of lvalue *expr* (also used for array decay)."""
+        if isinstance(expr, A.Name):
+            reg = self.push(False)
+            if expr.binding == "global":
+                self.emit(f"la {reg}, g_{expr.name}")
+            else:
+                off = self.slot_addr_offset(expr.slot)  # type: ignore[attr-defined]
+                self.emit(f"addi {reg}, s0, {off}")
+        elif isinstance(expr, A.Index):
+            base_ty = expr.base.type
+            assert base_ty is not None
+            if base_ty.is_array:
+                self._gen_addr(expr.base)
+            else:
+                self._gen_expr(expr.base)  # pointer rvalue
+            self._gen_expr(expr.index)
+            idx, _ = self.pop()
+            base, _ = self.pop()
+            self.free(idx, False)
+            self.free(base, False)
+            out = self.push(False)
+            self.emit(f"slli {idx}, {idx}, 3")
+            self.emit(f"add {out}, {base}, {idx}")
+        elif isinstance(expr, A.Unary) and expr.op == "*":
+            self._gen_expr(expr.operand)
+        else:  # pragma: no cover - sema rejects other lvalues
+            raise CodegenError(f"not an lvalue: {type(expr).__name__}", expr.pos)
+
+    def _gen_unary(self, expr: A.Unary) -> None:
+        if expr.op == "&":
+            self._gen_addr(expr.operand)
+            return
+        if expr.op == "*":
+            self._gen_expr(expr.operand)
+            self._load_from_top(expr.type)
+            return
+        self._gen_expr(expr.operand)
+        if expr.op == "-":
+            reg, is_float = self.pop()
+            self.free(reg, is_float)
+            out = self.push(is_float)
+            self.emit(f"fneg {out}, {reg}" if is_float else f"neg {out}, {reg}")
+        elif expr.op == "!":
+            reg, _ = self.pop()
+            self.free(reg, False)
+            out = self.push(False)
+            self.emit(f"sltu {out}, zero, {reg}")
+            self.emit(f"xori {out}, {out}, 1")
+        elif expr.op == "~":
+            reg, _ = self.pop()
+            self.free(reg, False)
+            out = self.push(False)
+            self.emit(f"xori {out}, {reg}, -1")
+        else:  # pragma: no cover
+            raise AssertionError(expr.op)
+
+    _INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+                "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra"}
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def _gen_binary(self, expr: A.Binary) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_shortcircuit(expr)
+            return
+        lt = expr.left.type.decay() if expr.left.type else INT
+        rt = expr.right.type.decay() if expr.right.type else INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self._gen_compare(expr, lt, rt)
+            return
+        # Pointer arithmetic: scale the int operand by the word size.
+        if lt.is_pointer or rt.is_pointer:
+            self._gen_pointer_arith(expr, lt, rt)
+            return
+        self._gen_expr(expr.left)
+        self._gen_expr(expr.right)
+        rr, r_is_float = self.pop()
+        rl, l_is_float = self.pop()
+        self.free(rr, r_is_float)
+        self.free(rl, l_is_float)
+        if l_is_float or r_is_float:
+            out = self.push(True)
+            self.emit(f"{self._FLOAT_OPS[op]} {out}, {rl}, {rr}")
+        else:
+            out = self.push(False)
+            self.emit(f"{self._INT_OPS[op]} {out}, {rl}, {rr}")
+
+    def _gen_pointer_arith(self, expr: A.Binary, lt: Type, rt: Type) -> None:
+        op = expr.op
+        self._gen_expr(expr.left)
+        self._gen_expr(expr.right)
+        rr, _ = self.pop()
+        rl, _ = self.pop()
+        self.free(rr, False)
+        self.free(rl, False)
+        out = self.push(False)
+        if lt.is_pointer and rt.is_pointer:  # ptr - ptr -> element count
+            self.emit(f"sub {out}, {rl}, {rr}")
+            self.emit(f"srai {out}, {out}, 3")
+            return
+        if lt.is_pointer:  # ptr +- int
+            self.emit(f"slli {rr}, {rr}, 3")
+            self.emit(f"{'add' if op == '+' else 'sub'} {out}, {rl}, {rr}")
+        else:  # int + ptr
+            self.emit(f"slli {rl}, {rl}, 3")
+            self.emit(f"add {out}, {rl}, {rr}")
+
+    def _gen_compare(self, expr: A.Binary, lt: Type, rt: Type) -> None:
+        self._gen_expr(expr.left)
+        self._gen_expr(expr.right)
+        rr, r_is_float = self.pop()
+        rl, l_is_float = self.pop()
+        self.free(rr, r_is_float)
+        self.free(rl, l_is_float)
+        op = expr.op
+        if l_is_float or r_is_float:
+            out = self.push(False)
+            table = {"==": ("feq", rl, rr, False), "!=": ("feq", rl, rr, True),
+                     "<": ("flt", rl, rr, False), ">=": ("flt", rl, rr, True),
+                     "<=": ("fle", rl, rr, False), ">": ("fle", rl, rr, True)}
+            mnem, a, b, invert = table[op]
+            self.emit(f"{mnem} {out}, {a}, {b}")
+            if invert:
+                self.emit(f"xori {out}, {out}, 1")
+            return
+        out = self.push(False)
+        if op == "<":
+            self.emit(f"slt {out}, {rl}, {rr}")
+        elif op == ">":
+            self.emit(f"slt {out}, {rr}, {rl}")
+        elif op == "<=":
+            self.emit(f"slt {out}, {rr}, {rl}")
+            self.emit(f"xori {out}, {out}, 1")
+        elif op == ">=":
+            self.emit(f"slt {out}, {rl}, {rr}")
+            self.emit(f"xori {out}, {out}, 1")
+        elif op == "==":
+            self.emit(f"sub {out}, {rl}, {rr}")
+            self.emit(f"sltu {out}, zero, {out}")
+            self.emit(f"xori {out}, {out}, 1")
+        elif op == "!=":
+            self.emit(f"sub {out}, {rl}, {rr}")
+            self.emit(f"sltu {out}, zero, {out}")
+        else:  # pragma: no cover
+            raise AssertionError(op)
+
+    def _gen_shortcircuit(self, expr: A.Binary) -> None:
+        """&& / || with a stable spill-slot result (branch-safe)."""
+        end = self.cg.new_label()
+        slot = self._take_spill()
+        off = self._spill_offset(slot)
+        is_and = expr.op == "&&"
+        self._gen_expr(expr.left)
+        rl, _ = self.pop()
+        scratch = self._alloc_reg(False)
+        self.emit(f"li {scratch}, {0 if is_and else 1}")
+        self.emit(f"sd {scratch}, {off}(s0)")
+        self.free(scratch, False)
+        self.emit(f"beqz {rl}, {end}" if is_and else f"bnez {rl}, {end}")
+        self.free(rl, False)
+        self._gen_expr(expr.right)
+        rr, _ = self.pop()
+        scratch = self._alloc_reg(False)
+        self.emit(f"sltu {scratch}, zero, {rr}")
+        self.emit(f"sd {scratch}, {off}(s0)")
+        self.free(scratch, False)
+        self.free(rr, False)
+        self.label(end)
+        self.push_spilled(False, slot)
+
+    def _gen_assign(self, expr: A.Assign) -> None:
+        self._gen_addr(expr.target)
+        self._gen_expr(expr.value)
+        val, is_float = self.pop()
+        addr, _ = self.pop()
+        self.emit(f"fsd {val}, 0({addr})" if is_float else f"sd {val}, 0({addr})")
+        self.free(addr, False)
+        self.push_reg(val, is_float)  # assignment yields its value
+
+    def _gen_cast(self, expr: A.Cast) -> None:
+        self._gen_expr(expr.operand)
+        src = expr.operand.type.decay() if expr.operand.type else INT
+        dst = expr.target_type
+        if src.is_float and not dst.is_float:
+            reg, _ = self.pop()
+            self.free(reg, True)
+            out = self.push(False)
+            self.emit(f"fcvt.l.d {out}, {reg}")
+        elif not src.is_float and dst.is_float:
+            reg, _ = self.pop()
+            self.free(reg, False)
+            out = self.push(True)
+            self.emit(f"fcvt.d.l {out}, {reg}")
+        # int <-> pointer and pointer <-> pointer: no code.
+
+    # -------------------------------------------------------------------- calls
+    def _gen_call(self, expr: A.Call) -> None:
+        if expr.builtin is not None:
+            if expr.builtin in _INLINE_BUILTINS:
+                self._gen_inline_builtin(expr)
+            else:
+                self._gen_syscall_builtin(expr)
+            return
+        for arg in expr.args:
+            self._gen_expr(arg)
+        # Move arguments into the a/fa registers, last argument first.
+        for i in range(len(expr.args) - 1, -1, -1):
+            reg, is_float = self.pop()
+            self.emit(f"fmv fa{i}, {reg}" if is_float else f"mv a{i}, {reg}")
+            self.free(reg, is_float)
+        self.spill_all()  # callee clobbers every temp
+        self.emit(f"call fn_{expr.func}")
+        assert expr.type is not None
+        if not expr.type.is_void:
+            if expr.type.is_float:
+                out = self.push(True)
+                self.emit(f"fmv {out}, fa0")
+            else:
+                out = self.push(False)
+                self.emit(f"mv {out}, a0")
+
+    def _gen_inline_builtin(self, expr: A.Call) -> None:
+        name = expr.builtin
+        for arg in expr.args:
+            self._gen_expr(arg)
+        if name in ("sqrt", "sin", "cos", "fabs"):
+            reg, _ = self.pop()
+            self.free(reg, True)
+            out = self.push(True)
+            mnem = {"sqrt": "fsqrt", "sin": "fsin", "cos": "fcos", "fabs": "fabs"}[name]
+            self.emit(f"{mnem} {out}, {reg}")
+        elif name in ("fmin", "fmax"):
+            rb, _ = self.pop()
+            ra, _ = self.pop()
+            self.free(rb, True)
+            self.free(ra, True)
+            out = self.push(True)
+            self.emit(f"{name} {out}, {ra}, {rb}")
+        elif name == "abs":
+            reg, _ = self.pop()
+            self.free(reg, False)
+            out = self.push(False)
+            if out != reg:
+                self.emit(f"mv {out}, {reg}")
+            done = self.cg.new_label()
+            self.emit(f"bgez {out}, {done}")
+            self.emit(f"neg {out}, {out}")
+            self.label(done)
+        elif name in ("atomic_add", "atomic_swap"):
+            val, _ = self.pop()
+            ptr, _ = self.pop()
+            self.free(val, False)
+            self.free(ptr, False)
+            out = self.push(False)
+            mnem = "amoadd" if name == "atomic_add" else "amoswap"
+            self.emit(f"{mnem} {out}, {val}, ({ptr})")
+        else:  # pragma: no cover
+            raise AssertionError(name)
+
+    def _gen_syscall_builtin(self, expr: A.Call) -> None:
+        num = _SYSCALL_BUILTINS[expr.builtin]
+        if expr.builtin == "spawn":
+            # First argument is a function reference -> its entry address.
+            self._gen_expr(expr.args[1])
+            reg, _ = self.pop()
+            self.emit(f"mv a1, {reg}")
+            self.free(reg, False)
+            self.emit(f"la a0, fn_{expr.args[0].name}")  # type: ignore[union-attr]
+        else:
+            # Fixed signatures: argument i lands in a{i} (int/pointer) or
+            # fa{i} (float), popped last-argument-first.
+            for arg in expr.args:
+                self._gen_expr(arg)
+            for i in range(len(expr.args) - 1, -1, -1):
+                reg, is_float = self.pop()
+                self.emit(f"fmv fa{i}, {reg}" if is_float else f"mv a{i}, {reg}")
+                self.free(reg, is_float)
+        self.emit(f"li a7, {int(num)}")
+        self.emit("ecall")
+        b = BUILTINS[expr.builtin]
+        if not b.returns.is_void:
+            out = self.push(False)
+            self.emit(f"mv {out}, a0")
+
+
+class _CodeGen:
+    """Whole-unit driver: runtime stub, functions, globals, constant pool."""
+
+    def __init__(self, unit: A.Unit) -> None:
+        self.unit = unit
+        self.label_counter = 0
+        self.float_consts: dict[float, str] = {}
+
+    def new_label(self) -> str:
+        self.label_counter += 1
+        return f"L{self.label_counter}"
+
+    def float_const(self, value: float) -> str:
+        label = self.float_consts.get(value)
+        if label is None:
+            label = f"fc_{len(self.float_consts)}"
+            self.float_consts[value] = label
+        return label
+
+    def generate(self) -> str:
+        out: list[str] = [".text"]
+        # Runtime stub: `main` is the program entry used by the assembler.
+        out += [
+            "main:",
+            "    call fn_main",
+            "    li a7, 0",
+            "    ecall",
+            "__thread_exit:",
+            "    li a0, 0",
+            "    li a7, 0",
+            "    ecall",
+        ]
+        for fn in self.unit.functions:
+            out.append(f"# --- {fn.return_type} {fn.name}({', '.join(str(p.param_type) for p in fn.params)})")
+            out += _FuncGen(self, fn).generate()
+        out.append(".data")
+        for g in self.unit.globals:
+            out += self._global_lines(g)
+        for value, label in self.float_consts.items():
+            out.append(f"{label}: .double {value!r}")
+        return "\n".join(out) + "\n"
+
+    @staticmethod
+    def _global_lines(g: A.GlobalDecl) -> list[str]:
+        lines = [f"g_{g.name}:"]
+        ty = g.var_type
+        if ty.is_array:
+            elem = ty.element  # type: ignore[attr-defined]
+            length = ty.length  # type: ignore[attr-defined]
+            values = list(g.init) if isinstance(g.init, list) else []
+            if values:
+                directive = ".double" if elem.is_float else ".word"
+                lines.append(f"    {directive} " + ", ".join(repr(v) if elem.is_float else str(v) for v in values))
+            if length > len(values):
+                lines.append(f"    .space {8 * (length - len(values))}")
+        elif ty.is_float:
+            value = float(g.init) if g.init is not None else 0.0
+            lines.append(f"    .double {value!r}")
+        else:
+            lines.append(f"    .word {int(g.init) if g.init is not None else 0}")
+        return lines
+
+
+def generate(unit: A.Unit) -> str:
+    """Generate SPISA assembly for an analyzed *unit*."""
+    return _CodeGen(unit).generate()

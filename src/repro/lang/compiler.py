@@ -1,0 +1,36 @@
+"""Slang compiler driver: source -> AST -> typed AST -> assembly -> Program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.lang.ast_nodes import Unit
+from repro.lang.codegen import generate
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+__all__ = ["compile_source", "compile_to_asm", "CompiledProgram"]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """Compilation artefacts: the program image plus intermediate forms."""
+
+    program: Program
+    asm: str
+    unit: Unit
+
+
+def compile_to_asm(source: str) -> str:
+    """Compile Slang *source* and return the generated assembly text."""
+    return generate(analyze(parse(source)))
+
+
+def compile_source(source: str, *, name: str = "<slang>") -> CompiledProgram:
+    """Compile Slang *source* into a loadable :class:`Program` image."""
+    unit = analyze(parse(source))
+    asm = generate(unit)
+    program = assemble(asm, name=name)
+    return CompiledProgram(program=program, asm=asm, unit=unit)

@@ -1,0 +1,55 @@
+"""Slang compiler diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["SlangError", "LexError", "ParseError", "TypeError_", "CodegenError", "SourcePos"]
+
+
+class SourcePos:
+    """A (line, column) source position, 1-based."""
+
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int, col: int) -> None:
+        self.line = line
+        self.col = col
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def __repr__(self) -> str:
+        return f"SourcePos({self.line}, {self.col})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourcePos)
+            and (self.line, self.col) == (other.line, other.col)
+        )
+
+
+class SlangError(ValueError):
+    """Base class for all Slang compilation errors."""
+
+    def __init__(self, message: str, pos: SourcePos | None = None) -> None:
+        if pos is not None:
+            message = f"{pos}: {message}"
+        super().__init__(message)
+        self.pos = pos
+
+
+class LexError(SlangError):
+    """Invalid token."""
+
+
+class ParseError(SlangError):
+    """Invalid syntax."""
+
+
+class TypeError_(SlangError):
+    """Semantic / type error (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+class CodegenError(SlangError):
+    """Internal code-generation failure (should indicate a compiler bug or a
+    resource limit such as too many function arguments)."""

@@ -1,0 +1,208 @@
+"""Slang lexer.
+
+Slang is the reproduction's C-like workload language (DESIGN.md §2).  The
+lexer produces a flat token stream; ``//`` and ``/* */`` comments are
+stripped.  Numeric literals: decimal / hex integers, and floats with a
+decimal point and/or exponent.  Character literals ``'c'`` become int
+literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError, SourcePos
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+]
+
+
+class TokenKind:
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: SourcePos
+    value: int | float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}@{self.pos})"
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; raises :class:`LexError` on invalid input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def pos() -> SourcePos:
+        return SourcePos(line, col)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start = pos()
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start)
+            advance(2)
+            continue
+        if _is_ident_start(c):
+            start = pos()
+            j = i
+            while j < n and _is_ident(source[j]):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start))
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            tokens.append(_lex_number(source, i, pos(), advance))
+            continue
+        if c == "'":
+            start = pos()
+            if i + 2 < n and source[i + 1] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "'": 39, "\\": 92}
+                esc = source[i + 2]
+                if esc not in escapes or i + 3 >= n or source[i + 3] != "'":
+                    raise LexError(f"bad escape sequence '\\{esc}'", start)
+                tokens.append(Token(TokenKind.INT, source[i : i + 4], start, escapes[esc]))
+                advance(4)
+            elif i + 2 < n and source[i + 2] == "'":
+                tokens.append(Token(TokenKind.INT, source[i : i + 3], start, ord(source[i + 1])))
+                advance(3)
+            else:
+                raise LexError("unterminated character literal", start)
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, pos()))
+                advance(len(op))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {c!r}", pos())
+    tokens.append(Token(TokenKind.EOF, "", pos()))
+    return tokens
+
+
+def _lex_number(source: str, i: int, start: SourcePos, advance) -> Token:
+    n = len(source)
+    j = i
+    if source.startswith("0x", i) or source.startswith("0X", i):
+        j = i + 2
+        while j < n and (source[j] in "0123456789abcdefABCDEF"):
+            j += 1
+        text = source[i:j]
+        if len(text) == 2:
+            raise LexError("empty hex literal", start)
+        advance(j - i)
+        return Token(TokenKind.INT, text, start, int(text, 16))
+    is_float = False
+    while j < n and source[j].isdigit():
+        j += 1
+    if j < n and source[j] == ".":
+        is_float = True
+        j += 1
+        while j < n and source[j].isdigit():
+            j += 1
+    if j < n and source[j] in "eE":
+        k = j + 1
+        if k < n and source[k] in "+-":
+            k += 1
+        if k < n and source[k].isdigit():
+            is_float = True
+            j = k
+            while j < n and source[j].isdigit():
+                j += 1
+    text = source[i:j]
+    advance(j - i)
+    if is_float:
+        return Token(TokenKind.FLOAT, text, start, float(text))
+    return Token(TokenKind.INT, text, start, int(text))

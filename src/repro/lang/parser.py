@@ -1,0 +1,365 @@
+"""Slang recursive-descent parser with precedence climbing.
+
+Produces a :class:`repro.lang.ast_nodes.Unit`.  Types are parsed eagerly so
+the classic cast/parenthesis ambiguity is resolved by one-token lookahead:
+``(`` followed by a type keyword is a cast.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import ParseError, SourcePos
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.types import FLOAT, INT, VOID, Array, Ptr, Type
+
+__all__ = ["parse"]
+
+_TYPE_KEYWORDS = {"int": INT, "float": FLOAT, "void": VOID}
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.i]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.i + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tok
+        if tok.kind is not TokenKind.EOF:
+            self.i += 1
+        return tok
+
+    def expect_op(self, text: str) -> Token:
+        if self.tok.kind == TokenKind.OP and self.tok.text == text:
+            return self.advance()
+        raise ParseError(f"expected {text!r}, found {self.tok.text or 'end of input'!r}", self.tok.pos)
+
+    def at_op(self, *texts: str) -> bool:
+        return self.tok.kind == TokenKind.OP and self.tok.text in texts
+
+    def at_keyword(self, *names: str) -> bool:
+        return self.tok.kind == TokenKind.KEYWORD and self.tok.text in names
+
+    def at_type(self) -> bool:
+        return self.at_keyword("int", "float", "void")
+
+    def expect_ident(self) -> Token:
+        if self.tok.kind != TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {self.tok.text!r}", self.tok.pos)
+        return self.advance()
+
+    # ---------------------------------------------------------------- types
+    def parse_type(self) -> Type:
+        if not self.at_type():
+            raise ParseError(f"expected type, found {self.tok.text!r}", self.tok.pos)
+        ty: Type = _TYPE_KEYWORDS[self.advance().text]
+        while self.at_op("*"):
+            self.advance()
+            ty = Ptr(ty)
+        return ty
+
+    # ------------------------------------------------------------ top level
+    def parse_unit(self) -> A.Unit:
+        start = self.tok.pos
+        globals_: list[A.GlobalDecl] = []
+        functions: list[A.FuncDef] = []
+        while self.tok.kind is not TokenKind.EOF:
+            pos = self.tok.pos
+            ty = self.parse_type()
+            name = self.expect_ident().text
+            if self.at_op("("):
+                functions.append(self._func_def(pos, ty, name))
+            else:
+                globals_.append(self._global_decl(pos, ty, name))
+        return A.Unit(start, globals_, functions)
+
+    def _global_decl(self, pos: SourcePos, ty: Type, name: str) -> A.GlobalDecl:
+        if ty.is_void:
+            raise ParseError(f"global {name!r} cannot have type void", pos)
+        if self.at_op("["):
+            self.advance()
+            length_tok = self.advance()
+            if length_tok.kind != TokenKind.INT or length_tok.value is None or length_tok.value <= 0:
+                raise ParseError("array length must be a positive integer literal", length_tok.pos)
+            self.expect_op("]")
+            ty = Array(ty, int(length_tok.value))
+        init = None
+        if self.at_op("="):
+            self.advance()
+            init = self._const_init(ty)
+        self.expect_op(";")
+        return A.GlobalDecl(pos, name, ty, init)
+
+    def _const_number(self):
+        neg = False
+        if self.at_op("-"):
+            self.advance()
+            neg = True
+        tok = self.advance()
+        if tok.kind not in (TokenKind.INT, TokenKind.FLOAT):
+            raise ParseError("global initializers must be numeric constants", tok.pos)
+        value = tok.value
+        return -value if neg else value
+
+    def _const_init(self, ty: Type):
+        if self.at_op("{"):
+            self.advance()
+            values = [self._const_number()]
+            while self.at_op(","):
+                self.advance()
+                values.append(self._const_number())
+            self.expect_op("}")
+            if not ty.is_array:
+                raise ParseError("brace initializer on a non-array global", self.tok.pos)
+            if len(values) > ty.length:  # type: ignore[attr-defined]
+                raise ParseError("too many initializer values", self.tok.pos)
+            return values
+        return self._const_number()
+
+    def _func_def(self, pos: SourcePos, return_type: Type, name: str) -> A.FuncDef:
+        self.expect_op("(")
+        params: list[A.Param] = []
+        if not self.at_op(")"):
+            if self.at_keyword("void") and self.peek().text == ")":
+                self.advance()
+            else:
+                params.append(self._param())
+                while self.at_op(","):
+                    self.advance()
+                    params.append(self._param())
+        self.expect_op(")")
+        body = self.parse_block()
+        return A.FuncDef(pos, name, return_type, params, body)
+
+    def _param(self) -> A.Param:
+        pos = self.tok.pos
+        ty = self.parse_type()
+        if ty.is_void:
+            raise ParseError("parameters cannot have type void", pos)
+        name = self.expect_ident().text
+        if self.at_op("["):  # `int a[]` decays to pointer
+            self.advance()
+            self.expect_op("]")
+            ty = Ptr(ty)
+        return A.Param(pos, name, ty)
+
+    # ------------------------------------------------------------ statements
+    def parse_block(self) -> A.Block:
+        pos = self.tok.pos
+        self.expect_op("{")
+        body: list[A.Stmt] = []
+        while not self.at_op("}"):
+            if self.tok.kind is TokenKind.EOF:
+                raise ParseError("unterminated block", pos)
+            body.append(self.parse_stmt())
+        self.expect_op("}")
+        return A.Block(pos, body)
+
+    def _stmt_as_block(self) -> A.Block:
+        if self.at_op("{"):
+            return self.parse_block()
+        stmt = self.parse_stmt()
+        return A.Block(stmt.pos, [stmt])
+
+    def parse_stmt(self) -> A.Stmt:
+        pos = self.tok.pos
+        if self.at_op("{"):
+            return self.parse_block()
+        if self.at_op(";"):
+            self.advance()
+            return A.Block(pos, [])
+        if self.at_keyword("if"):
+            return self._if_stmt()
+        if self.at_keyword("while"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            return A.While(pos, cond, self._stmt_as_block())
+        if self.at_keyword("for"):
+            return self._for_stmt()
+        if self.at_keyword("return"):
+            self.advance()
+            value = None if self.at_op(";") else self.parse_expr()
+            self.expect_op(";")
+            return A.Return(pos, value)
+        if self.at_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return A.Break(pos)
+        if self.at_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return A.Continue(pos)
+        if self.at_type():
+            return self._var_decl()
+        expr = self.parse_expr()
+        self.expect_op(";")
+        return A.ExprStmt(pos, expr)
+
+    def _if_stmt(self) -> A.If:
+        pos = self.tok.pos
+        self.advance()
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self._stmt_as_block()
+        orelse: A.Block | A.If | None = None
+        if self.at_keyword("else"):
+            self.advance()
+            orelse = self._if_stmt() if self.at_keyword("if") else self._stmt_as_block()
+        return A.If(pos, cond, then, orelse)
+
+    def _for_stmt(self) -> A.For:
+        pos = self.tok.pos
+        self.advance()
+        self.expect_op("(")
+        init: A.Expr | A.VarDecl | None = None
+        if not self.at_op(";"):
+            if self.at_type():
+                init = self._var_decl()  # consumes the ';'
+            else:
+                init = self.parse_expr()
+                self.expect_op(";")
+        else:
+            self.advance()
+        cond = None if self.at_op(";") else self.parse_expr()
+        self.expect_op(";")
+        step = None if self.at_op(")") else self.parse_expr()
+        self.expect_op(")")
+        return A.For(pos, init, cond, step, self._stmt_as_block())
+
+    def _var_decl(self) -> A.VarDecl:
+        pos = self.tok.pos
+        ty = self.parse_type()
+        if ty.is_void:
+            raise ParseError("variables cannot have type void", pos)
+        name = self.expect_ident().text
+        if self.at_op("["):
+            self.advance()
+            length_tok = self.advance()
+            if length_tok.kind != TokenKind.INT or not length_tok.value or length_tok.value <= 0:
+                raise ParseError("array length must be a positive integer literal", length_tok.pos)
+            self.expect_op("]")
+            ty = Array(ty, int(length_tok.value))
+        init = None
+        if self.at_op("="):
+            self.advance()
+            if ty.is_array:
+                raise ParseError("local arrays cannot have initializers", pos)
+            init = self.parse_expr()
+        self.expect_op(";")
+        return A.VarDecl(pos, name, ty, init)
+
+    # ----------------------------------------------------------- expressions
+    def parse_expr(self) -> A.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> A.Expr:
+        pos = self.tok.pos
+        left = self._binary(1)
+        if self.at_op("="):
+            self.advance()
+            value = self._assignment()
+            return A.Assign(pos, left, value)
+        return left
+
+    def _binary(self, min_prec: int) -> A.Expr:
+        left = self._unary()
+        while (
+            self.tok.kind == TokenKind.OP
+            and self.tok.text in _PRECEDENCE
+            and _PRECEDENCE[self.tok.text] >= min_prec
+        ):
+            op = self.advance()
+            right = self._binary(_PRECEDENCE[op.text] + 1)
+            left = A.Binary(op.pos, op.text, left, right)
+        return left
+
+    def _unary(self) -> A.Expr:
+        pos = self.tok.pos
+        if self.at_op("-", "!", "~", "*", "&"):
+            op = self.advance().text
+            return A.Unary(pos, op, self._unary())
+        if self.at_op("(") and self.peek().kind == TokenKind.KEYWORD and self.peek().text in _TYPE_KEYWORDS:
+            self.advance()
+            ty = self.parse_type()
+            self.expect_op(")")
+            return A.Cast(pos, ty, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            if self.at_op("["):
+                pos = self.advance().pos
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = A.Index(pos, expr, index)
+            elif self.at_op("("):
+                if not isinstance(expr, A.Name):
+                    raise ParseError("only named functions can be called", self.tok.pos)
+                pos = self.advance().pos
+                args: list[A.Expr] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.at_op(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                expr = A.Call(pos, expr.name, args)
+            else:
+                return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self.tok
+        if tok.kind == TokenKind.INT:
+            self.advance()
+            return A.IntLit(tok.pos, int(tok.value))
+        if tok.kind == TokenKind.FLOAT:
+            self.advance()
+            return A.FloatLit(tok.pos, float(tok.value))
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            return A.Name(tok.pos, tok.text)
+        if self.at_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text or 'end of input'!r}", tok.pos)
+
+
+def parse(source: str) -> A.Unit:
+    """Parse Slang *source* into an AST unit."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_unit()

@@ -1,0 +1,458 @@
+"""Slang semantic analysis: name resolution, type checking, slot assignment.
+
+After ``analyze(unit)``:
+
+* every ``Expr`` node carries ``.type``;
+* every ``Name`` carries ``.binding`` (``local``/``param``/``global``/``func``)
+  and, for locals/params, ``.slot`` — an index into the function frame;
+* implicit ``int -> float`` conversions are materialised as ``Cast`` nodes so
+  codegen never converts silently;
+* every ``FuncDef`` carries ``.frame_slots`` — the ordered list of
+  ``(slot_type, size_words)`` for its params + locals (local arrays get their
+  full extent).
+
+Builtins (the paper's Table 1 API plus math/IO intrinsics) are recognised
+here and tagged on the ``Call`` node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import SourcePos, TypeError_
+from repro.lang.types import FLOAT, INT, VOID, Array, Ptr, Type, same
+
+__all__ = ["analyze", "BUILTINS", "Builtin"]
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """Signature of a compiler builtin."""
+
+    name: str
+    params: tuple[Type, ...]
+    returns: Type
+    #: First parameter is a function reference (spawn only).
+    func_ref: bool = False
+
+
+_IP = Ptr(INT)
+
+BUILTINS: dict[str, Builtin] = {
+    b.name: b
+    for b in [
+        Builtin("print_int", (INT,), VOID),
+        Builtin("print_float", (FLOAT,), VOID),
+        Builtin("print_char", (INT,), VOID),
+        Builtin("exit", (INT,), VOID),
+        Builtin("sbrk", (INT,), INT),
+        Builtin("clock", (), INT),
+        Builtin("thread_id", (), INT),
+        Builtin("num_threads", (), INT),
+        Builtin("spawn", (INT, INT), INT, func_ref=True),
+        Builtin("join", (INT,), VOID),
+        # Paper Table 1 synchronization API.
+        Builtin("init_lock", (_IP,), VOID),
+        Builtin("lock", (_IP,), VOID),
+        Builtin("unlock", (_IP,), VOID),
+        Builtin("init_barrier", (_IP, INT), VOID),
+        Builtin("barrier", (_IP,), VOID),
+        Builtin("init_sema", (_IP, INT), VOID),
+        Builtin("sema_wait", (_IP,), VOID),
+        Builtin("sema_signal", (_IP,), VOID),
+        # Math / atomics.
+        Builtin("sqrt", (FLOAT,), FLOAT),
+        Builtin("sin", (FLOAT,), FLOAT),
+        Builtin("cos", (FLOAT,), FLOAT),
+        Builtin("fabs", (FLOAT,), FLOAT),
+        Builtin("fmin", (FLOAT, FLOAT), FLOAT),
+        Builtin("fmax", (FLOAT, FLOAT), FLOAT),
+        Builtin("abs", (INT,), INT),
+        Builtin("atomic_add", (_IP, INT), INT),
+        Builtin("atomic_swap", (_IP, INT), INT),
+    ]
+}
+
+
+@dataclass
+class _Sig:
+    params: tuple[Type, ...]
+    returns: Type
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, tuple[str, Type, int]] = {}  # name -> (kind, type, slot)
+
+    def define(self, name: str, kind: str, ty: Type, slot: int, pos: SourcePos) -> None:
+        if name in self.names:
+            raise TypeError_(f"redefinition of {name!r}", pos)
+        self.names[name] = (kind, ty, slot)
+
+    def lookup(self, name: str):
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _Analyzer:
+    def __init__(self, unit: A.Unit) -> None:
+        self.unit = unit
+        self.globals: dict[str, Type] = {}
+        self.functions: dict[str, _Sig] = {}
+        self.current: A.FuncDef | None = None
+        self.loop_depth = 0
+
+    # ----------------------------------------------------------- top level
+    def run(self) -> A.Unit:
+        for g in self.unit.globals:
+            if g.name in self.globals or g.name in BUILTINS:
+                raise TypeError_(f"redefinition of global {g.name!r}", g.pos)
+            self._check_global_init(g)
+            self.globals[g.name] = g.var_type
+        for fn in self.unit.functions:
+            if fn.name in self.functions or fn.name in BUILTINS or fn.name in self.globals:
+                raise TypeError_(f"redefinition of function {fn.name!r}", fn.pos)
+            self.functions[fn.name] = _Sig(tuple(p.param_type for p in fn.params), fn.return_type)
+        if "main" not in self.functions:
+            raise TypeError_("program has no 'main' function", self.unit.pos)
+        if len(self.functions["main"].params) != 0:
+            raise TypeError_("'main' must take no parameters", self.unit.pos)
+        for fn in self.unit.functions:
+            self._check_function(fn)
+        return self.unit
+
+    def _check_global_init(self, g: A.GlobalDecl) -> None:
+        if g.init is None:
+            return
+        if isinstance(g.init, list):
+            assert g.var_type.is_array
+            elem = g.var_type.element  # type: ignore[attr-defined]
+            g.init = [self._coerce_const(v, elem, g.pos) for v in g.init]
+        else:
+            if g.var_type.is_array:
+                raise TypeError_("array global needs a brace initializer", g.pos)
+            g.init = self._coerce_const(g.init, g.var_type, g.pos)
+
+    @staticmethod
+    def _coerce_const(value, ty: Type, pos: SourcePos):
+        if ty.is_float:
+            return float(value)
+        if isinstance(value, float):
+            raise TypeError_(f"float constant {value} initialising non-float", pos)
+        return int(value)
+
+    # ------------------------------------------------------------ functions
+    def _check_function(self, fn: A.FuncDef) -> None:
+        self.current = fn
+        self.loop_depth = 0
+        self._slots: list[tuple[Type, int]] = []
+        scope = _Scope()
+        if len(fn.params) > 8:
+            raise TypeError_(f"{fn.name!r}: at most 8 parameters supported", fn.pos)
+        for p in fn.params:
+            slot = self._new_slot(p.param_type.decay())
+            scope.define(p.name, "param", p.param_type.decay(), slot, p.pos)
+        self._check_block(fn.body, scope)
+        fn.frame_slots = self._slots  # type: ignore[attr-defined]
+        self.current = None
+
+    def _new_slot(self, ty: Type) -> int:
+        words = ty.sizeof() // 8 if ty.is_array else 1
+        self._slots.append((ty, words))
+        return len(self._slots) - 1
+
+    # ------------------------------------------------------------ statements
+    def _check_block(self, block: A.Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.body:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: A.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, A.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, A.ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, A.VarDecl):
+            self._check_vardecl(stmt, scope)
+        elif isinstance(stmt, A.If):
+            self._condition(stmt.cond, scope)
+            self._check_block(stmt.then, scope)
+            if isinstance(stmt.orelse, A.If):
+                self._check_stmt(stmt.orelse, scope)
+            elif stmt.orelse is not None:
+                self._check_block(stmt.orelse, scope)
+        elif isinstance(stmt, A.While):
+            self._condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self._check_block(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if isinstance(stmt.init, A.VarDecl):
+                self._check_vardecl(stmt.init, inner)
+            elif stmt.init is not None:
+                self._expr(stmt.init, inner)
+            if stmt.cond is not None:
+                self._condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self._expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._check_block(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.Return):
+            self._check_return(stmt, scope)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, A.Break) else "continue"
+                raise TypeError_(f"{kind} outside a loop", stmt.pos)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _check_vardecl(self, decl: A.VarDecl, scope: _Scope) -> None:
+        slot = self._new_slot(decl.var_type)
+        scope.define(decl.name, "local", decl.var_type, slot, decl.pos)
+        decl.slot = slot  # type: ignore[attr-defined]
+        if decl.init is not None:
+            value_ty = self._expr(decl.init, scope)
+            decl.init = self._convert(decl.init, value_ty, decl.var_type, decl.pos)
+
+    def _check_return(self, stmt: A.Return, scope: _Scope) -> None:
+        assert self.current is not None
+        want = self.current.return_type
+        if stmt.value is None:
+            if not want.is_void:
+                raise TypeError_(f"{self.current.name!r} must return a {want}", stmt.pos)
+            return
+        if want.is_void:
+            raise TypeError_(f"void function {self.current.name!r} returns a value", stmt.pos)
+        got = self._expr(stmt.value, scope)
+        stmt.value = self._convert(stmt.value, got, want, stmt.pos)
+
+    def _condition(self, expr: A.Expr, scope: _Scope) -> None:
+        ty = self._expr(expr, scope)
+        if not (ty.is_int or ty.is_pointer):
+            raise TypeError_(f"condition must be int (or pointer), got {ty}", expr.pos)
+
+    # ------------------------------------------------------------ conversion
+    def _convert(self, expr: A.Expr, got: Type, want: Type, pos: SourcePos) -> A.Expr:
+        """Insert an implicit conversion or raise."""
+        got = got.decay()
+        want = want.decay()
+        if same(got, want):
+            return expr
+        if got.is_int and want.is_float:
+            cast = A.Cast(pos, want, expr)
+            cast.type = want
+            return cast
+        if want.is_pointer and got.is_int and isinstance(expr, A.IntLit) and expr.value == 0:
+            cast = A.Cast(pos, want, expr)
+            cast.type = want
+            return cast
+        raise TypeError_(f"cannot implicitly convert {got} to {want}", pos)
+
+    # ----------------------------------------------------------- expressions
+    def _expr(self, expr: A.Expr, scope: _Scope) -> Type:
+        ty = self._expr_inner(expr, scope)
+        expr.type = ty
+        return ty
+
+    def _expr_inner(self, expr: A.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, A.IntLit):
+            if not -(1 << 31) <= expr.value <= (1 << 31) - 1:
+                raise TypeError_(f"integer literal {expr.value} exceeds 32 signed bits", expr.pos)
+            return INT
+        if isinstance(expr, A.FloatLit):
+            return FLOAT
+        if isinstance(expr, A.Name):
+            return self._name(expr, scope)
+        if isinstance(expr, A.Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, A.Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, A.Assign):
+            return self._assign(expr, scope)
+        if isinstance(expr, A.Call):
+            return self._call(expr, scope)
+        if isinstance(expr, A.Index):
+            return self._index(expr, scope)
+        if isinstance(expr, A.Cast):
+            return self._cast(expr, scope)
+        raise AssertionError(f"unhandled expression {type(expr).__name__}")  # pragma: no cover
+
+    def _name(self, expr: A.Name, scope: _Scope) -> Type:
+        hit = scope.lookup(expr.name)
+        if hit is not None:
+            kind, ty, slot = hit
+            expr.binding = kind
+            expr.slot = slot  # type: ignore[attr-defined]
+            return ty
+        if expr.name in self.globals:
+            expr.binding = "global"
+            return self.globals[expr.name]
+        if expr.name in self.functions:
+            expr.binding = "func"
+            return INT  # code address
+        raise TypeError_(f"undefined name {expr.name!r}", expr.pos)
+
+    def _unary(self, expr: A.Unary, scope: _Scope) -> Type:
+        if expr.op == "&":
+            ty = self._expr(expr.operand, scope)
+            if not A.is_lvalue(expr.operand):
+                raise TypeError_("'&' requires an lvalue", expr.pos)
+            if ty.is_array:
+                return Ptr(ty.element)  # type: ignore[attr-defined]
+            return Ptr(ty)
+        ty = self._expr(expr.operand, scope).decay()
+        if expr.op == "*":
+            if not ty.is_pointer:
+                raise TypeError_(f"cannot dereference {ty}", expr.pos)
+            base = ty.base  # type: ignore[attr-defined]
+            if base.is_void:
+                raise TypeError_("cannot dereference void*", expr.pos)
+            return base
+        if expr.op == "-":
+            if not ty.is_numeric:
+                raise TypeError_(f"unary '-' needs a numeric operand, got {ty}", expr.pos)
+            return ty
+        if expr.op in ("!", "~"):
+            if not ty.is_int:
+                raise TypeError_(f"unary {expr.op!r} needs an int operand, got {ty}", expr.pos)
+            return INT
+        raise AssertionError(expr.op)  # pragma: no cover
+
+    def _binary(self, expr: A.Binary, scope: _Scope) -> Type:
+        op = expr.op
+        lt = self._expr(expr.left, scope).decay()
+        rt = self._expr(expr.right, scope).decay()
+        if op in ("&&", "||", "&", "|", "^", "<<", ">>", "%"):
+            if not (lt.is_int and rt.is_int):
+                raise TypeError_(f"{op!r} needs int operands, got {lt} and {rt}", expr.pos)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_pointer or rt.is_pointer:
+                if lt.is_pointer and rt.is_pointer and same(lt, rt):
+                    return INT
+                # pointer vs literal 0
+                if lt.is_pointer and rt.is_int:
+                    expr.right = self._convert(expr.right, rt, lt, expr.pos)
+                    return INT
+                if rt.is_pointer and lt.is_int:
+                    expr.left = self._convert(expr.left, lt, rt, expr.pos)
+                    return INT
+                raise TypeError_(f"cannot compare {lt} with {rt}", expr.pos)
+            if lt.is_float or rt.is_float:
+                expr.left = self._convert(expr.left, lt, FLOAT, expr.pos)
+                expr.right = self._convert(expr.right, rt, FLOAT, expr.pos)
+            return INT
+        if op in ("+", "-", "*", "/"):
+            if lt.is_pointer or rt.is_pointer:
+                return self._pointer_arith(expr, lt, rt)
+            if lt.is_float or rt.is_float:
+                if op in ("+", "-", "*", "/"):
+                    expr.left = self._convert(expr.left, lt, FLOAT, expr.pos)
+                    expr.right = self._convert(expr.right, rt, FLOAT, expr.pos)
+                    return FLOAT
+            return INT
+        raise AssertionError(op)  # pragma: no cover
+
+    def _pointer_arith(self, expr: A.Binary, lt: Type, rt: Type) -> Type:
+        op = expr.op
+        if op == "+":
+            if lt.is_pointer and rt.is_int:
+                return lt
+            if rt.is_pointer and lt.is_int:
+                return rt
+        if op == "-":
+            if lt.is_pointer and rt.is_int:
+                return lt
+            if lt.is_pointer and rt.is_pointer and same(lt, rt):
+                return INT  # element difference
+        raise TypeError_(f"invalid pointer arithmetic: {lt} {op} {rt}", expr.pos)
+
+    def _assign(self, expr: A.Assign, scope: _Scope) -> Type:
+        target_ty = self._expr(expr.target, scope)
+        if not A.is_lvalue(expr.target):
+            raise TypeError_("assignment target is not an lvalue", expr.pos)
+        if target_ty.is_array:
+            raise TypeError_("cannot assign to an array", expr.pos)
+        value_ty = self._expr(expr.value, scope)
+        expr.value = self._convert(expr.value, value_ty, target_ty, expr.pos)
+        return target_ty
+
+    def _index(self, expr: A.Index, scope: _Scope) -> Type:
+        base_ty = self._expr(expr.base, scope).decay()
+        if not base_ty.is_pointer:
+            raise TypeError_(f"cannot index {base_ty}", expr.pos)
+        index_ty = self._expr(expr.index, scope)
+        if not index_ty.is_int:
+            raise TypeError_(f"array index must be int, got {index_ty}", expr.pos)
+        base = base_ty.base  # type: ignore[attr-defined]
+        if base.is_void:
+            raise TypeError_("cannot index void*", expr.pos)
+        return base
+
+    def _cast(self, expr: A.Cast, scope: _Scope) -> Type:
+        src = self._expr(expr.operand, scope).decay()
+        dst = expr.target_type
+        if dst.is_void:
+            raise TypeError_("cannot cast to void", expr.pos)
+        ok = (
+            (src.is_numeric and dst.is_numeric)
+            or (src.is_pointer and dst.is_pointer)
+            or (src.is_int and dst.is_pointer)
+            or (src.is_pointer and dst.is_int)
+        )
+        if not ok:
+            raise TypeError_(f"invalid cast from {src} to {dst}", expr.pos)
+        return dst
+
+    def _call(self, expr: A.Call, scope: _Scope) -> Type:
+        if expr.func in BUILTINS:
+            return self._builtin_call(expr, scope)
+        sig = self.functions.get(expr.func)
+        if sig is None:
+            raise TypeError_(f"call to undefined function {expr.func!r}", expr.pos)
+        if len(expr.args) != len(sig.params):
+            raise TypeError_(
+                f"{expr.func!r} expects {len(sig.params)} argument(s), got {len(expr.args)}",
+                expr.pos,
+            )
+        for i, (arg, want) in enumerate(zip(expr.args, sig.params)):
+            got = self._expr(arg, scope)
+            expr.args[i] = self._convert(arg, got, want, arg.pos)
+        return sig.returns
+
+    def _builtin_call(self, expr: A.Call, scope: _Scope) -> Type:
+        b = BUILTINS[expr.func]
+        expr.builtin = b.name
+        if len(expr.args) != len(b.params):
+            raise TypeError_(
+                f"builtin {b.name!r} expects {len(b.params)} argument(s), got {len(expr.args)}",
+                expr.pos,
+            )
+        for i, (arg, want) in enumerate(zip(expr.args, b.params)):
+            if i == 0 and b.func_ref:
+                if not isinstance(arg, A.Name) or arg.name not in self.functions:
+                    raise TypeError_("spawn() needs a function name as its first argument", arg.pos)
+                sig = self.functions[arg.name]
+                if len(sig.params) != 1 or not sig.params[0].is_int:
+                    raise TypeError_(
+                        f"spawned function {arg.name!r} must take exactly one int argument", arg.pos
+                    )
+                arg.binding = "func"
+                arg.type = INT
+                continue
+            got = self._expr(arg, scope)
+            expr.args[i] = self._convert(arg, got, want, arg.pos)
+        return b.returns
+
+
+def analyze(unit: A.Unit) -> A.Unit:
+    """Run semantic analysis in place and return *unit*."""
+    return _Analyzer(unit).run()

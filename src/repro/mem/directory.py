@@ -1,0 +1,186 @@
+"""Directory-based MESI coherence (manager-owned).
+
+Each block has a directory entry with presence bits and a dirty bit exactly
+as in the paper's Figure 6.  The directory is consulted in manager-processing
+order; under slack, requests can reach it out of simulated-time order, which
+makes entry state transitions diverge from the cycle-by-cycle order — the
+*simulated-system-state violation* of §3.2.2.  Those reorderings are counted
+per block through :class:`~repro.violations.detect.ViolationCounters`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.violations.detect import ViolationCounters
+
+__all__ = ["Directory", "DirState", "DirectoryOutcome", "ReqKind"]
+
+
+class DirState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"  # single owner, possibly dirty (dirty bit set)
+
+
+class ReqKind(enum.Enum):
+    """Coherence request types arriving at the directory."""
+
+    GETS = "gets"        # read miss
+    GETX = "getx"        # write miss
+    UPGRADE = "upgrade"  # write hit on a SHARED copy
+    PUTM = "putm"        # dirty eviction writeback
+
+
+@dataclass
+class DirectoryOutcome:
+    """Directory decision for one request."""
+
+    #: MESI state granted to the requester's L1 ("M"/"E"/"S"), or None for PUTM.
+    grant: str | None
+    #: Cores whose L1 copy must be invalidated.
+    invalidate: list[int] = field(default_factory=list)
+    #: Core whose M/E copy must be downgraded to S (remote read).
+    downgrade: int | None = None
+    #: Data must be forwarded from another core's cache (cache-to-cache).
+    cache_to_cache: bool = False
+    #: The upgrade raced with an invalidation and became a full GETX.
+    upgrade_promoted: bool = False
+
+
+class _Entry:
+    __slots__ = ("state", "sharers", "owner", "last_ts")
+
+    def __init__(self) -> None:
+        self.state = DirState.INVALID
+        self.sharers: set[int] = set()
+        self.owner: int | None = None
+        self.last_ts = 0
+
+
+class Directory:
+    """Full-map directory over cache blocks."""
+
+    def __init__(self, num_cores: int, counters: ViolationCounters | None = None) -> None:
+        self.num_cores = num_cores
+        self.counters = counters
+        self._entries: dict[int, _Entry] = {}
+        self.requests = 0
+        self.invalidations_sent = 0
+        self.downgrades_sent = 0
+        self.cache_to_cache_transfers = 0
+
+    def _entry(self, addr: int) -> _Entry:
+        entry = self._entries.get(addr)
+        if entry is None:
+            entry = _Entry()
+            self._entries[addr] = entry
+        return entry
+
+    # ------------------------------------------------------------- requests
+    def handle(self, kind: ReqKind, addr: int, core: int, ts: int) -> DirectoryOutcome:
+        """Apply one coherence request; returns the protocol actions."""
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")
+        entry = self._entry(addr)
+        self.requests += 1
+        if ts < entry.last_ts and self.counters is not None:
+            self.counters.record_system_state("directory")
+        if ts > entry.last_ts:
+            entry.last_ts = ts
+        if kind is ReqKind.GETS:
+            return self._gets(entry, core)
+        if kind is ReqKind.GETX:
+            return self._getx(entry, core)
+        if kind is ReqKind.UPGRADE:
+            return self._upgrade(entry, core)
+        if kind is ReqKind.PUTM:
+            return self._putm(entry, core)
+        raise AssertionError(kind)  # pragma: no cover
+
+    def _gets(self, entry: _Entry, core: int) -> DirectoryOutcome:
+        if entry.state is DirState.INVALID:
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = core
+            entry.sharers = {core}
+            return DirectoryOutcome(grant="E")
+        if entry.state is DirState.EXCLUSIVE:
+            owner = entry.owner
+            assert owner is not None
+            if owner == core:
+                return DirectoryOutcome(grant="E")
+            entry.state = DirState.SHARED
+            entry.sharers = {owner, core}
+            entry.owner = None
+            self.downgrades_sent += 1
+            self.cache_to_cache_transfers += 1
+            return DirectoryOutcome(grant="S", downgrade=owner, cache_to_cache=True)
+        entry.sharers.add(core)
+        return DirectoryOutcome(grant="S")
+
+    def _getx(self, entry: _Entry, core: int) -> DirectoryOutcome:
+        if entry.state is DirState.INVALID:
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = core
+            entry.sharers = {core}
+            return DirectoryOutcome(grant="M")
+        if entry.state is DirState.EXCLUSIVE:
+            owner = entry.owner
+            assert owner is not None
+            entry.owner = core
+            entry.sharers = {core}
+            if owner == core:
+                return DirectoryOutcome(grant="M")
+            self.invalidations_sent += 1
+            self.cache_to_cache_transfers += 1
+            return DirectoryOutcome(grant="M", invalidate=[owner], cache_to_cache=True)
+        victims = sorted(entry.sharers - {core})
+        entry.state = DirState.EXCLUSIVE
+        entry.owner = core
+        entry.sharers = {core}
+        self.invalidations_sent += len(victims)
+        return DirectoryOutcome(grant="M", invalidate=victims)
+
+    def _upgrade(self, entry: _Entry, core: int) -> DirectoryOutcome:
+        if entry.state is DirState.SHARED and core in entry.sharers:
+            victims = sorted(entry.sharers - {core})
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = core
+            entry.sharers = {core}
+            self.invalidations_sent += len(victims)
+            return DirectoryOutcome(grant="M", invalidate=victims)
+        # Raced with a conflicting GETX: our copy is gone, fall back to GETX.
+        outcome = self._getx(entry, core)
+        outcome.upgrade_promoted = True
+        return outcome
+
+    def _putm(self, entry: _Entry, core: int) -> DirectoryOutcome:
+        if entry.state is DirState.EXCLUSIVE and entry.owner == core:
+            entry.state = DirState.INVALID
+            entry.owner = None
+            entry.sharers = set()
+        # Otherwise: stale writeback from a core that already lost the block.
+        return DirectoryOutcome(grant=None)
+
+    # ------------------------------------------------------------ inspection
+    def presence_bits(self, addr: int) -> tuple[list[int], int]:
+        """(presence bit vector, dirty bit) — the paper's Figure 6 view."""
+        entry = self._entries.get(addr)
+        bits = [0] * self.num_cores
+        if entry is None:
+            return bits, 0
+        if entry.state is DirState.EXCLUSIVE and entry.owner is not None:
+            bits[entry.owner] = 1
+            return bits, 1
+        for core in entry.sharers:
+            bits[core] = 1
+        return bits, 0
+
+    def state_of(self, addr: int) -> DirState:
+        entry = self._entries.get(addr)
+        return entry.state if entry is not None else DirState.INVALID
+
+    def sharers_of(self, addr: int) -> set[int]:
+        entry = self._entries.get(addr)
+        return set(entry.sharers) if entry is not None else set()

@@ -1,0 +1,7 @@
+"""Statistics and reporting: metrics (harmonic mean, relative error) and
+ASCII table rendering used by every experiment harness."""
+
+from repro.stats.metrics import geometric_mean, harmonic_mean, percent, relative_error
+from repro.stats.tables import Table
+
+__all__ = ["geometric_mean", "harmonic_mean", "percent", "relative_error", "Table"]

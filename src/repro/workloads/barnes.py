@@ -1,0 +1,150 @@
+"""Barnes benchmark (SPLASH-2 Barnes stand-in).
+
+2-D N-body integration with softened gravity.  **Substitution** (recorded in
+DESIGN.md §2): the Barnes-Hut octree is replaced by a direct all-pairs force
+sweep with the same parallel structure — each thread owns a body stripe,
+phases are separated by barriers, and the global potential-energy reduction
+is serialised with a lock.  What the slack experiments need is the sharing
+pattern (every thread reads all positions, writes its own stripe, contends
+on one lock), which direct summation preserves.
+
+Oracle: the identical integrator in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import SLANG_LCG, Workload, build, lcg_stream
+
+__all__ = ["make_barnes", "barnes_source"]
+
+_SOFTENING = 0.05
+_DT = 0.01
+
+
+def barnes_source(nbodies: int, steps: int, nthreads: int) -> str:
+    return f"""
+// Barnes: {nbodies} bodies, {steps} steps, {nthreads} threads (direct sum).
+{SLANG_LCG}
+float px[{nbodies}]; float py[{nbodies}];
+float vx[{nbodies}]; float vy[{nbodies}];
+float ax[{nbodies}]; float ay[{nbodies}];
+float mass[{nbodies}];
+float potential;
+int bar;
+int elock;
+int tids[{nthreads}];
+
+void body_worker(int tid) {{
+    for (int s = 0; s < {steps}; s = s + 1) {{
+        // Phase 1: forces on owned bodies (read everything, write own).
+        float local_pot = 0.0;
+        for (int i = tid; i < {nbodies}; i = i + {nthreads}) {{
+            float fx = 0.0;
+            float fy = 0.0;
+            for (int j = 0; j < {nbodies}; j = j + 1) {{
+                if (j == i) continue;
+                float dx = px[j] - px[i];
+                float dy = py[j] - py[i];
+                float r2 = dx * dx + dy * dy + {_SOFTENING};
+                float inv = 1.0 / (r2 * sqrt(r2));
+                fx = fx + mass[j] * dx * inv;
+                fy = fy + mass[j] * dy * inv;
+                if (j > i) local_pot = local_pot - mass[i] * mass[j] / sqrt(r2);
+            }}
+            ax[i] = fx;
+            ay[i] = fy;
+        }}
+        lock(&elock);
+        potential = potential + local_pot;
+        unlock(&elock);
+        barrier(&bar);
+        // Phase 2: integrate owned bodies.
+        for (int i = tid; i < {nbodies}; i = i + {nthreads}) {{
+            vx[i] = vx[i] + ax[i] * {_DT};
+            vy[i] = vy[i] + ay[i] * {_DT};
+            px[i] = px[i] + vx[i] * {_DT};
+            py[i] = py[i] + vy[i] * {_DT};
+        }}
+        barrier(&bar);
+    }}
+}}
+
+int main() {{
+    lcg_state = 17760704;
+    init_barrier(&bar, {nthreads});
+    init_lock(&elock);
+    potential = 0.0;
+    for (int i = 0; i < {nbodies}; i = i + 1) {{
+        px[i] = lcg_next() * 2.0 - 1.0;
+        py[i] = lcg_next() * 2.0 - 1.0;
+        vx[i] = (lcg_next() - 0.5) * 0.1;
+        vy[i] = (lcg_next() - 0.5) * 0.1;
+        mass[i] = 0.5 + lcg_next();
+    }}
+    for (int t = 1; t < {nthreads}; t = t + 1) tids[t] = spawn(body_worker, t);
+    body_worker(0);
+    for (int t = 1; t < {nthreads}; t = t + 1) join(tids[t]);
+    float sx = 0.0;
+    float sv = 0.0;
+    for (int i = 0; i < {nbodies}; i = i + 1) {{
+        sx = sx + px[i] + py[i];
+        sv = sv + vx[i] * vx[i] + vy[i] * vy[i];
+    }}
+    print_float(sx);
+    print_float(sv);
+    print_float(px[0]);
+    return 0;
+}}
+"""
+
+
+def _oracle(nbodies: int, steps: int) -> list[float]:
+    stream = iter(lcg_stream(17760704, 5 * nbodies))
+    px = np.zeros(nbodies)
+    py = np.zeros(nbodies)
+    vx = np.zeros(nbodies)
+    vy = np.zeros(nbodies)
+    mass = np.zeros(nbodies)
+    for i in range(nbodies):
+        px[i] = next(stream) * 2.0 - 1.0
+        py[i] = next(stream) * 2.0 - 1.0
+        vx[i] = (next(stream) - 0.5) * 0.1
+        vy[i] = (next(stream) - 0.5) * 0.1
+        mass[i] = 0.5 + next(stream)
+    for _ in range(steps):
+        ax = np.zeros(nbodies)
+        ay = np.zeros(nbodies)
+        for i in range(nbodies):
+            fx = fy = 0.0
+            for j in range(nbodies):
+                if j == i:
+                    continue
+                dx = px[j] - px[i]
+                dy = py[j] - py[i]
+                r2 = dx * dx + dy * dy + _SOFTENING
+                inv = 1.0 / (r2 * np.sqrt(r2))
+                fx += mass[j] * dx * inv
+                fy += mass[j] * dy * inv
+            ax[i] = fx
+            ay[i] = fy
+        vx += ax * _DT
+        vy += ay * _DT
+        px += vx * _DT
+        py += vy * _DT
+    sx = float((px + py).sum())
+    sv = float((vx * vx + vy * vy).sum())
+    return [sx, sv, float(px[0])]
+
+
+def make_barnes(nbodies: int = 16, steps: int = 2, nthreads: int = 8) -> Workload:
+    """Build the Barnes workload (paper input set: 1024 bodies, scaled)."""
+    return build(
+        name="barnes",
+        source=barnes_source(nbodies, steps, nthreads),
+        params={"nbodies": nbodies, "steps": steps, "nthreads": nthreads},
+        expected=_oracle(nbodies, steps),
+        tolerance=1e-6,
+        input_set=f"{nbodies} bodies, {steps} steps",
+    )

@@ -1,0 +1,125 @@
+"""FFT benchmark (SPLASH-2 FFT stand-in, DESIGN.md §2).
+
+Iterative radix-2 decimation-in-time FFT over a complex array held in two
+shared float arrays.  Thread 0 seeds the data and performs the bit-reversal
+permutation; all threads then split the butterfly blocks of each stage and
+synchronise with a barrier per stage — the same barrier-phased,
+shifting-ownership sharing pattern as SPLASH-2 FFT.
+
+Oracle: ``numpy.fft.fft`` over the identical LCG-seeded input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import SLANG_LCG, Workload, build, lcg_stream
+
+__all__ = ["make_fft", "fft_source"]
+
+
+def fft_source(n: int, nthreads: int) -> str:
+    if n & (n - 1) or n < 4:
+        raise ValueError("FFT size must be a power of two >= 4")
+    return f"""
+// FFT: radix-2 DIT over {n} points on {nthreads} threads.
+{SLANG_LCG}
+float re[{n}];
+float im[{n}];
+int bar;
+int tids[{nthreads}];
+
+int bit_reverse(int v, int bits) {{
+    int out = 0;
+    for (int b = 0; b < bits; b = b + 1) {{
+        out = (out << 1) | (v & 1);
+        v = v >> 1;
+    }}
+    return out;
+}}
+
+void fft_worker(int tid) {{
+    for (int len = 2; len <= {n}; len = len * 2) {{
+        int half = len / 2;
+        int blocks = {n} / len;
+        for (int b = tid; b < blocks; b = b + {nthreads}) {{
+            int base = b * len;
+            for (int j = 0; j < half; j = j + 1) {{
+                float ang = -6.283185307179586 * (float) j / (float) len;
+                float wr = cos(ang);
+                float wi = sin(ang);
+                int i0 = base + j;
+                int i1 = base + j + half;
+                float tr = wr * re[i1] - wi * im[i1];
+                float ti = wr * im[i1] + wi * re[i1];
+                re[i1] = re[i0] - tr;
+                im[i1] = im[i0] - ti;
+                re[i0] = re[i0] + tr;
+                im[i0] = im[i0] + ti;
+            }}
+        }}
+        barrier(&bar);
+    }}
+}}
+
+int main() {{
+    int bits = 0;
+    int tmp = {n};
+    while (tmp > 1) {{ bits = bits + 1; tmp = tmp / 2; }}
+    lcg_state = 20090713;
+    init_barrier(&bar, {nthreads});
+    // Seed in natural order, then store bit-reversed (DIT input order).
+    float tre[{n}];
+    float tim[{n}];
+    for (int i = 0; i < {n}; i = i + 1) {{
+        tre[i] = lcg_next() - 0.5;
+        tim[i] = lcg_next() - 0.5;
+    }}
+    for (int i = 0; i < {n}; i = i + 1) {{
+        int r = bit_reverse(i, bits);
+        re[r] = tre[i];
+        im[r] = tim[i];
+    }}
+    for (int t = 1; t < {nthreads}; t = t + 1) tids[t] = spawn(fft_worker, t);
+    fft_worker(0);
+    for (int t = 1; t < {nthreads}; t = t + 1) join(tids[t]);
+    // Checksums: weighted sums of the spectrum.
+    float sr = 0.0;
+    float si = 0.0;
+    for (int i = 0; i < {n}; i = i + 1) {{
+        sr = sr + re[i];
+        si = si + im[i];
+    }}
+    print_float(sr);
+    print_float(si);
+    print_float(re[1]);
+    print_float(im[{n} / 2]);
+    return 0;
+}}
+"""
+
+
+def _oracle(n: int) -> list[float]:
+    stream = lcg_stream(20090713, 2 * n)
+    data = np.array(
+        [stream[2 * i] - 0.5 + 1j * (stream[2 * i + 1] - 0.5) for i in range(n)]
+    )
+    spectrum = np.fft.fft(data)
+    return [
+        float(spectrum.real.sum()),
+        float(spectrum.imag.sum()),
+        float(spectrum[1].real),
+        float(spectrum[n // 2].imag),
+    ]
+
+
+def make_fft(n: int = 64, nthreads: int = 8) -> Workload:
+    """Build the FFT workload (paper input set: 64K points, scaled down)."""
+    return build(
+        name="fft",
+        source=fft_source(n, nthreads),
+        params={"n": n, "nthreads": nthreads},
+        expected=_oracle(n),
+        tolerance=1e-6,
+        input_set=f"{n} points",
+    )

@@ -1,0 +1,93 @@
+"""LU benchmark (SPLASH-2 LU stand-in).
+
+Right-looking LU factorization without pivoting of a diagonally-dominant
+dense matrix.  Rows are distributed round-robin over threads; each
+elimination step ``k`` updates the trailing submatrix in parallel with a
+barrier per step — the classic SPLASH-2 LU dependence structure (scaled from
+contiguous blocks to row-cyclic for clarity).
+
+Oracle: the identical elimination in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import SLANG_LCG, Workload, build, lcg_stream
+
+__all__ = ["make_lu", "lu_source"]
+
+
+def lu_source(n: int, nthreads: int) -> str:
+    return f"""
+// LU: {n}x{n} right-looking factorization on {nthreads} threads.
+{SLANG_LCG}
+float A[{n * n}];
+int bar;
+int tids[{nthreads}];
+
+void lu_worker(int tid) {{
+    for (int k = 0; k < {n}; k = k + 1) {{
+        float pivot = A[k * {n} + k];
+        for (int i = k + 1; i < {n}; i = i + 1) {{
+            if (i % {nthreads} != tid) continue;
+            float factor = A[i * {n} + k] / pivot;
+            A[i * {n} + k] = factor;
+            for (int j = k + 1; j < {n}; j = j + 1) {{
+                A[i * {n} + j] = A[i * {n} + j] - factor * A[k * {n} + j];
+            }}
+        }}
+        barrier(&bar);
+    }}
+}}
+
+int main() {{
+    lcg_state = 19950624;
+    init_barrier(&bar, {nthreads});
+    for (int i = 0; i < {n}; i = i + 1) {{
+        for (int j = 0; j < {n}; j = j + 1) {{
+            float v = lcg_next();
+            if (i == j) v = v + {float(n)};
+            A[i * {n} + j] = v;
+        }}
+    }}
+    for (int t = 1; t < {nthreads}; t = t + 1) tids[t] = spawn(lu_worker, t);
+    lu_worker(0);
+    for (int t = 1; t < {nthreads}; t = t + 1) join(tids[t]);
+    // Checksums over the packed LU factors.
+    float total = 0.0;
+    float diag = 0.0;
+    for (int i = 0; i < {n}; i = i + 1) {{
+        diag = diag + A[i * {n} + i];
+        for (int j = 0; j < {n}; j = j + 1) total = total + fabs(A[i * {n} + j]);
+    }}
+    print_float(total);
+    print_float(diag);
+    print_float(A[{n} - 1]);
+    return 0;
+}}
+"""
+
+
+def _oracle(n: int) -> list[float]:
+    stream = lcg_stream(19950624, n * n)
+    a = np.array(stream, dtype=np.float64).reshape(n, n)
+    a = a + np.eye(n) * float(n)
+    for k in range(n):
+        for i in range(k + 1, n):
+            factor = a[i, k] / a[k, k]
+            a[i, k] = factor
+            a[i, k + 1 :] -= factor * a[k, k + 1 :]
+    return [float(np.abs(a).sum()), float(np.trace(a)), float(a[0, n - 1])]
+
+
+def make_lu(n: int = 16, nthreads: int = 8) -> Workload:
+    """Build the LU workload (paper input set: 256x256, scaled down)."""
+    return build(
+        name="lu",
+        source=lu_source(n, nthreads),
+        params={"n": n, "nthreads": nthreads},
+        expected=_oracle(n),
+        tolerance=1e-9,
+        input_set=f"{n} x {n} matrix",
+    )

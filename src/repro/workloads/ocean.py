@@ -1,0 +1,100 @@
+"""Ocean benchmark (SPLASH-2 OCEAN stand-in).
+
+Red-black Gauss-Seidel relaxation on a square grid with fixed boundary
+values — the computational core of OCEAN's multigrid solver, at a single
+grid level.  Rows are striped over threads; each colour sweep ends in a
+barrier, and every sweep reads the neighbouring threads' boundary rows —
+the nearest-neighbour producer/consumer sharing pattern OCEAN is known for.
+
+Oracle: the identical red-black sweeps in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import SLANG_LCG, Workload, build, lcg_stream
+
+__all__ = ["make_ocean", "ocean_source"]
+
+
+def ocean_source(n: int, sweeps: int, nthreads: int) -> str:
+    return f"""
+// OCEAN: {n}x{n} grid, {sweeps} red-black sweeps, {nthreads} threads.
+{SLANG_LCG}
+float grid[{n * n}];
+int bar;
+int tids[{nthreads}];
+
+void ocean_worker(int tid) {{
+    for (int s = 0; s < {sweeps}; s = s + 1) {{
+        for (int colour = 0; colour < 2; colour = colour + 1) {{
+            for (int i = 1 + tid; i < {n} - 1; i = i + {nthreads}) {{
+                for (int j = 1; j < {n} - 1; j = j + 1) {{
+                    if ((i + j) % 2 != colour) continue;
+                    grid[i * {n} + j] = 0.25 * (
+                        grid[(i - 1) * {n} + j] + grid[(i + 1) * {n} + j]
+                        + grid[i * {n} + j - 1] + grid[i * {n} + j + 1]);
+                }}
+            }}
+            barrier(&bar);
+        }}
+    }}
+}}
+
+int main() {{
+    lcg_state = 19950301;
+    init_barrier(&bar, {nthreads});
+    for (int i = 0; i < {n}; i = i + 1) {{
+        for (int j = 0; j < {n}; j = j + 1) {{
+            grid[i * {n} + j] = lcg_next();
+        }}
+    }}
+    for (int t = 1; t < {nthreads}; t = t + 1) tids[t] = spawn(ocean_worker, t);
+    ocean_worker(0);
+    for (int t = 1; t < {nthreads}; t = t + 1) join(tids[t]);
+    float total = 0.0;
+    float interior = 0.0;
+    for (int i = 0; i < {n}; i = i + 1) {{
+        for (int j = 0; j < {n}; j = j + 1) {{
+            total = total + grid[i * {n} + j];
+            if (i > 0) {{ if (i < {n} - 1) {{ if (j > 0) {{ if (j < {n} - 1) {{
+                interior = interior + grid[i * {n} + j];
+            }} }} }} }}
+        }}
+    }}
+    print_float(total);
+    print_float(interior);
+    print_float(grid[{n} + 1]);
+    return 0;
+}}
+"""
+
+
+def _oracle(n: int, sweeps: int) -> list[float]:
+    stream = lcg_stream(19950301, n * n)
+    grid = np.array(stream, dtype=np.float64).reshape(n, n)
+    for _ in range(sweeps):
+        for colour in range(2):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    if (i + j) % 2 != colour:
+                        continue
+                    grid[i, j] = 0.25 * (
+                        grid[i - 1, j] + grid[i + 1, j] + grid[i, j - 1] + grid[i, j + 1]
+                    )
+    total = float(grid.sum())
+    interior = float(grid[1:-1, 1:-1].sum())
+    return [total, interior, float(grid[1, 1])]
+
+
+def make_ocean(n: int = 10, sweeps: int = 2, nthreads: int = 8) -> Workload:
+    """Build the OCEAN workload (SPLASH-2 input: 258x258, scaled down)."""
+    return build(
+        name="ocean",
+        source=ocean_source(n, sweeps, nthreads),
+        params={"n": n, "sweeps": sweeps, "nthreads": nthreads},
+        expected=_oracle(n, sweeps),
+        tolerance=1e-9,
+        input_set=f"{n} x {n} grid, {sweeps} sweeps",
+    )

@@ -1,0 +1,118 @@
+"""Radix benchmark (SPLASH-2 RADIX stand-in).
+
+Parallel LSD radix sort: per pass, each thread histograms its stripe of keys
+for one digit, thread 0 builds the global per-thread/per-digit offsets
+(exclusive prefix sum over the rank-major histogram matrix, exactly
+SPLASH-2's key exchange), then every thread scatters its stripe — three
+barrier-separated phases per pass.  Dense barrier traffic plus heavy
+shared-array streaming makes this the coherence-bandwidth-bound member of
+the suite.
+
+Oracle: Python's sort over the identical LCG key stream.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SLANG_LCG, Workload, build, lcg_stream
+
+__all__ = ["make_radix", "radix_source"]
+
+_DIGIT_BITS = 4
+_RADIX = 1 << _DIGIT_BITS
+
+
+def radix_source(nkeys: int, passes: int, nthreads: int) -> str:
+    hist_words = nthreads * _RADIX
+    return f"""
+// RADIX: {nkeys} keys, {passes} x {_DIGIT_BITS}-bit passes, {nthreads} threads.
+{SLANG_LCG}
+int keys[{nkeys}];
+int temp[{nkeys}];
+int hist[{hist_words}];      // [thread][digit]
+int offsets[{hist_words}];   // [thread][digit] -> scatter base
+int bar;
+int tids[{nthreads}];
+
+void radix_worker(int tid) {{
+    int lo = tid * {nkeys} / {nthreads};
+    int hi = (tid + 1) * {nkeys} / {nthreads};
+    for (int p = 0; p < {passes}; p = p + 1) {{
+        int shift = p * {_DIGIT_BITS};
+        // Phase 1: local histogram.
+        for (int d = 0; d < {_RADIX}; d = d + 1) hist[tid * {_RADIX} + d] = 0;
+        for (int i = lo; i < hi; i = i + 1) {{
+            int d = (keys[i] >> shift) & {_RADIX - 1};
+            hist[tid * {_RADIX} + d] = hist[tid * {_RADIX} + d] + 1;
+        }}
+        barrier(&bar);
+        // Phase 2: thread 0 builds global offsets (digit-major order, then
+        // by thread rank within a digit -> stable sort).
+        if (tid == 0) {{
+            int run = 0;
+            for (int d = 0; d < {_RADIX}; d = d + 1) {{
+                for (int t = 0; t < {nthreads}; t = t + 1) {{
+                    offsets[t * {_RADIX} + d] = run;
+                    run = run + hist[t * {_RADIX} + d];
+                }}
+            }}
+        }}
+        barrier(&bar);
+        // Phase 3: scatter the stripe using the claimed offsets.
+        for (int i = lo; i < hi; i = i + 1) {{
+            int d = (keys[i] >> shift) & {_RADIX - 1};
+            int slot = offsets[tid * {_RADIX} + d];
+            offsets[tid * {_RADIX} + d] = slot + 1;
+            temp[slot] = keys[i];
+        }}
+        barrier(&bar);
+        // Phase 4: copy back (striped).
+        for (int i = lo; i < hi; i = i + 1) keys[i] = temp[i];
+        barrier(&bar);
+    }}
+}}
+
+int main() {{
+    lcg_state = 20011009;
+    init_barrier(&bar, {nthreads});
+    for (int i = 0; i < {nkeys}; i = i + 1) {{
+        keys[i] = (int) (lcg_next() * {float(1 << (_DIGIT_BITS * passes))});
+    }}
+    for (int t = 1; t < {nthreads}; t = t + 1) tids[t] = spawn(radix_worker, t);
+    radix_worker(0);
+    for (int t = 1; t < {nthreads}; t = t + 1) join(tids[t]);
+    // Checks: sortedness flag + weighted checksum.
+    int sorted = 1;
+    int checksum = 0;
+    for (int i = 0; i < {nkeys}; i = i + 1) {{
+        if (i > 0) {{
+            if (keys[i - 1] > keys[i]) sorted = 0;
+        }}
+        checksum = checksum + keys[i] * (i + 1);
+    }}
+    print_int(sorted);
+    print_int(checksum);
+    print_int(keys[0]);
+    print_int(keys[{nkeys} - 1]);
+    return 0;
+}}
+"""
+
+
+def _oracle(nkeys: int, passes: int) -> list[int]:
+    stream = lcg_stream(20011009, nkeys)
+    limit = float(1 << (_DIGIT_BITS * passes))
+    keys = sorted(int(v * limit) for v in stream)
+    checksum = sum(k * (i + 1) for i, k in enumerate(keys))
+    return [1, checksum, keys[0], keys[-1]]
+
+
+def make_radix(nkeys: int = 64, passes: int = 2, nthreads: int = 8) -> Workload:
+    """Build the RADIX workload (paper-era input: 1M keys, scaled down)."""
+    return build(
+        name="radix",
+        source=radix_source(nkeys, passes, nthreads),
+        params={"nkeys": nkeys, "passes": passes, "nthreads": nthreads},
+        expected=_oracle(nkeys, passes),
+        tolerance=0.0,
+        input_set=f"{nkeys} keys, {passes} passes",
+    )

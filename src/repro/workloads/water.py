@@ -1,0 +1,161 @@
+"""Water-Nsquared benchmark (SPLASH-2 Water-Nsquared stand-in).
+
+Lennard-Jones molecular dynamics in 2-D with the O(N^2) pairwise force loop
+of Water-Nsquared, including its signature synchronization pattern: each
+thread owns a stripe of molecules but pair interactions update *both*
+molecules' force accumulators under **per-molecule locks**, followed by a
+barrier-separated integration phase and a lock-protected global energy
+reduction.
+
+Oracle: the identical MD step in numpy (tolerance covers lock-order
+dependent floating-point accumulation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import SLANG_LCG, Workload, build, lcg_stream
+
+__all__ = ["make_water", "water_source"]
+
+_DT = 0.002
+_EPS = 0.2
+
+
+def water_source(nmol: int, steps: int, nthreads: int) -> str:
+    return f"""
+// Water-Nsquared: {nmol} molecules, {steps} steps, {nthreads} threads.
+{SLANG_LCG}
+float px[{nmol}]; float py[{nmol}];
+float vx[{nmol}]; float vy[{nmol}];
+float fx[{nmol}]; float fy[{nmol}];
+int mlocks[{nmol}];
+float energy;
+int elock;
+int bar;
+int tids[{nthreads}];
+
+void water_worker(int tid) {{
+    for (int s = 0; s < {steps}; s = s + 1) {{
+        // Clear owned force accumulators.
+        for (int i = tid; i < {nmol}; i = i + {nthreads}) {{
+            fx[i] = 0.0;
+            fy[i] = 0.0;
+        }}
+        barrier(&bar);
+        // Pairwise LJ forces: owner of i computes pairs (i, j>i) and
+        // updates both sides under per-molecule locks (Water-Nsquared).
+        float local_e = 0.0;
+        for (int i = tid; i < {nmol}; i = i + {nthreads}) {{
+            for (int j = i + 1; j < {nmol}; j = j + 1) {{
+                float dx = px[j] - px[i];
+                float dy = py[j] - py[i];
+                float r2 = dx * dx + dy * dy + {_EPS};
+                float inv2 = 1.0 / r2;
+                float inv6 = inv2 * inv2 * inv2;
+                float coef = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+                float gx = coef * dx;
+                float gy = coef * dy;
+                local_e = local_e + 4.0 * inv6 * (inv6 - 1.0);
+                lock(&mlocks[i]);
+                fx[i] = fx[i] - gx;
+                fy[i] = fy[i] - gy;
+                unlock(&mlocks[i]);
+                lock(&mlocks[j]);
+                fx[j] = fx[j] + gx;
+                fy[j] = fy[j] + gy;
+                unlock(&mlocks[j]);
+            }}
+        }}
+        lock(&elock);
+        energy = energy + local_e;
+        unlock(&elock);
+        barrier(&bar);
+        // Integrate owned molecules.
+        for (int i = tid; i < {nmol}; i = i + {nthreads}) {{
+            vx[i] = vx[i] + fx[i] * {_DT};
+            vy[i] = vy[i] + fy[i] * {_DT};
+            px[i] = px[i] + vx[i] * {_DT};
+            py[i] = py[i] + vy[i] * {_DT};
+        }}
+        barrier(&bar);
+    }}
+}}
+
+int main() {{
+    lcg_state = 19890627;
+    init_barrier(&bar, {nthreads});
+    init_lock(&elock);
+    energy = 0.0;
+    for (int i = 0; i < {nmol}; i = i + 1) {{
+        init_lock(&mlocks[i]);
+        px[i] = lcg_next() * 4.0;
+        py[i] = lcg_next() * 4.0;
+        vx[i] = (lcg_next() - 0.5) * 0.2;
+        vy[i] = (lcg_next() - 0.5) * 0.2;
+    }}
+    for (int t = 1; t < {nthreads}; t = t + 1) tids[t] = spawn(water_worker, t);
+    water_worker(0);
+    for (int t = 1; t < {nthreads}; t = t + 1) join(tids[t]);
+    float sp = 0.0;
+    float sv = 0.0;
+    for (int i = 0; i < {nmol}; i = i + 1) {{
+        sp = sp + px[i] + py[i];
+        sv = sv + vx[i] * vx[i] + vy[i] * vy[i];
+    }}
+    print_float(sp);
+    print_float(sv);
+    print_float(energy);
+    return 0;
+}}
+"""
+
+
+def _oracle(nmol: int, steps: int) -> list[float]:
+    stream = iter(lcg_stream(19890627, 4 * nmol))
+    px = np.zeros(nmol)
+    py = np.zeros(nmol)
+    vx = np.zeros(nmol)
+    vy = np.zeros(nmol)
+    for i in range(nmol):
+        px[i] = next(stream) * 4.0
+        py[i] = next(stream) * 4.0
+        vx[i] = (next(stream) - 0.5) * 0.2
+        vy[i] = (next(stream) - 0.5) * 0.2
+    energy = 0.0
+    for _ in range(steps):
+        fx = np.zeros(nmol)
+        fy = np.zeros(nmol)
+        for i in range(nmol):
+            for j in range(i + 1, nmol):
+                dx = px[j] - px[i]
+                dy = py[j] - py[i]
+                r2 = dx * dx + dy * dy + _EPS
+                inv2 = 1.0 / r2
+                inv6 = inv2 ** 3
+                coef = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2
+                fx[i] -= coef * dx
+                fy[i] -= coef * dy
+                fx[j] += coef * dx
+                fy[j] += coef * dy
+                energy += 4.0 * inv6 * (inv6 - 1.0)
+        vx += fx * _DT
+        vy += fy * _DT
+        px += vx * _DT
+        py += vy * _DT
+    sp = float((px + py).sum())
+    sv = float((vx * vx + vy * vy).sum())
+    return [sp, sv, float(energy)]
+
+
+def make_water(nmol: int = 12, steps: int = 2, nthreads: int = 8) -> Workload:
+    """Build the Water workload (paper input set: 216 molecules, scaled)."""
+    return build(
+        name="water",
+        source=water_source(nmol, steps, nthreads),
+        params={"nmol": nmol, "steps": steps, "nthreads": nthreads},
+        expected=_oracle(nmol, steps),
+        tolerance=1e-6,
+        input_set=f"{nmol} molecules, {steps} steps",
+    )

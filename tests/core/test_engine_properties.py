@@ -1,0 +1,71 @@
+"""Property-based engine tests: invariants over random workloads/schemes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SequentialEngine, run_simulation
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.workloads.synthetic import sharing_workload
+
+SCHEMES = ["cc", "q10", "l10", "s9", "s9*", "s100", "su", "aq10-80"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scheme=st.sampled_from(SCHEMES),
+    num_cores=st.integers(2, 6),
+    ops=st.integers(5, 25),
+    shared=st.floats(0.0, 0.8),
+    writes=st.floats(0.0, 1.0),
+    wl_seed=st.integers(0, 50),
+    host_cores=st.integers(1, 8),
+)
+def test_random_workloads_terminate_with_invariants(
+    scheme, num_cores, ops, shared, writes, wl_seed, host_cores
+):
+    """Every scheme must terminate on every random sharing workload with the
+    clock invariant intact and sane accounting."""
+    cores = sharing_workload(
+        num_cores, ops, shared_fraction=shared, write_fraction=writes, seed=wl_seed
+    )
+    engine = SequentialEngine(
+        None,
+        target=TargetConfig(num_cores=num_cores, core_model="trace"),
+        host=HostConfig(num_cores=host_cores),
+        sim=SimConfig(scheme=scheme, seed=3),
+        trace_cores=cores,
+    )
+    violations_of_window = []
+    slack_bound = engine.scheme.slack
+
+    def probe(host_t, global_t, locals_):
+        for t in locals_:
+            if t >= 0 and (t < global_t or t > global_t + slack_bound):
+                violations_of_window.append((global_t, t))
+
+    engine.probe = probe
+    result = engine.run()
+    assert result.completed
+    assert not violations_of_window
+    assert result.execution_cycles > 0
+    assert result.host_time > 0
+    assert result.instructions == sum(c.committed for c in result.cores)
+    if engine.scheme.conservative:
+        assert result.violations.simulation_state == 0
+        assert result.violations.system_state == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 30))
+def test_determinism_over_random_seeds(seed):
+    cores = lambda: sharing_workload(3, 12, seed=9)
+    a = run_simulation(None, trace_cores=cores(), scheme="s9",
+                       host=HostConfig(num_cores=3),
+                       sim=SimConfig(scheme="s9", seed=seed),
+                       target=TargetConfig(num_cores=3, core_model="trace"))
+    b = run_simulation(None, trace_cores=cores(), scheme="s9",
+                       host=HostConfig(num_cores=3),
+                       sim=SimConfig(scheme="s9", seed=seed),
+                       target=TargetConfig(num_cores=3, core_model="trace"))
+    assert (a.execution_cycles, a.host_time, a.violations.total) == (
+        b.execution_cycles, b.host_time, b.violations.total
+    )

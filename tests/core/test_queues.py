@@ -1,0 +1,109 @@
+"""OutQ / InQ / GQ behaviour tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.events import EvKind, Event
+from repro.core.queues import GlobalQueue, InQ, OutQ
+
+
+def ev(ts, kind=EvKind.GETS, core=0, addr=0):
+    return Event(kind, addr, core, ts)
+
+
+class TestOutQ:
+    def test_drain_preserves_order_and_empties(self):
+        q = OutQ()
+        events = [ev(3), ev(1), ev(2)]
+        for e in events:
+            q.push(e)
+        assert q.drain() == events
+        assert len(q) == 0
+        assert q.drain() == []
+
+
+class TestInQ:
+    def test_pop_due_respects_timestamps(self):
+        q = InQ()
+        q.push(ev(10))
+        q.push(ev(5))
+        assert q.pop_due(4) is None
+        assert q.pop_due(5).ts == 5
+        assert q.pop_due(9) is None
+        assert q.pop_due(10).ts == 10
+
+    def test_past_events_pop_immediately(self):
+        q = InQ()
+        q.push(ev(3))
+        assert q.pop_due(100).ts == 3
+
+    def test_peek_ts(self):
+        q = InQ()
+        assert q.peek_ts() is None
+        q.push(ev(7))
+        q.push(ev(2))
+        assert q.peek_ts() == 2
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    def test_pop_due_yields_sorted_prefix(self, stamps):
+        q = InQ()
+        for ts in stamps:
+            q.push(ev(ts))
+        out = []
+        while True:
+            e = q.pop_due(50)
+            if e is None:
+                break
+            out.append(e.ts)
+        assert out == sorted(ts for ts in stamps if ts <= 50)
+
+
+class TestGQ:
+    def test_fifo_pop_is_arrival_order(self):
+        q = GlobalQueue()
+        for e in [ev(5), ev(1), ev(3)]:
+            q.push(e)
+        assert [q.pop_fifo().ts for _ in range(3)] == [5, 1, 3]
+        assert q.pop_fifo() is None
+
+    def test_oldest_pop_is_timestamp_order_with_bound(self):
+        q = GlobalQueue()
+        for e in [ev(5), ev(1), ev(3)]:
+            q.push(e)
+        assert q.pop_oldest(0) is None
+        assert q.pop_oldest(3).ts == 1
+        assert q.pop_oldest(3).ts == 3
+        assert q.pop_oldest(3) is None
+        assert q.pop_oldest(10).ts == 5
+
+    def test_mixed_disciplines_never_double_serve(self):
+        q = GlobalQueue()
+        events = [ev(i) for i in (4, 2, 9, 2)]
+        for e in events:
+            q.push(e)
+        served = [q.pop_oldest(3), q.pop_fifo(), q.pop_fifo(), q.pop_fifo()]
+        served = [e for e in served if e is not None]
+        assert len(served) == 4
+        assert len({id(e) for e in served}) == 4
+
+    def test_oldest_ts_skips_consumed(self):
+        q = GlobalQueue()
+        q.push(ev(2))
+        q.push(ev(7))
+        assert q.oldest_ts() == 2
+        q.pop_oldest(5)
+        assert q.oldest_ts() == 7
+
+    def test_len_counts_unconsumed(self):
+        q = GlobalQueue()
+        q.push(ev(1))
+        q.push(ev(2))
+        q.pop_fifo()
+        assert len(q) == 1
+
+    def test_ties_broken_by_sequence(self):
+        q = GlobalQueue()
+        a, b = ev(5, core=1), ev(5, core=2)
+        q.push(a)
+        q.push(b)
+        assert q.pop_oldest(5) is a
+        assert q.pop_oldest(5) is b

@@ -1,0 +1,109 @@
+"""Threaded engine tests: functional parity with the sequential engine.
+
+Wall-clock numbers are GIL-bound and nondeterministic; these tests assert
+*correctness* (outputs, invariants, termination), never timing.
+"""
+
+import pytest
+
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.threaded import ThreadedEngine
+from repro.lang import compile_source
+from repro.workloads import make_workload
+
+SMALL_TARGET = TargetConfig(num_cores=4)
+
+
+def run_threaded(prog, scheme, num_cores=4, seed=1):
+    engine = ThreadedEngine(
+        prog,
+        target=TargetConfig(num_cores=num_cores),
+        host=HostConfig(num_cores=4),
+        sim=SimConfig(scheme=scheme, seed=seed),
+    )
+    return engine.run(timeout=60.0)
+
+
+COUNTER_SRC = """
+int lk; int bar; int counter;
+void worker(int tid) {
+    for (int i = 0; i < 10; i = i + 1) {
+        lock(&lk);
+        counter = counter + 1;
+        unlock(&lk);
+    }
+    barrier(&bar);
+}
+int main() {
+    int tids[4];
+    init_lock(&lk);
+    init_barrier(&bar, 4);
+    for (int t = 1; t < 4; t = t + 1) tids[t] = spawn(worker, t);
+    worker(0);
+    for (int t = 1; t < 4; t = t + 1) join(tids[t]);
+    print_int(counter);
+    return 0;
+}
+"""
+
+
+@pytest.mark.parametrize("scheme", ["cc", "q10", "s9", "su"])
+def test_lock_counter_is_exact_under_real_threads(scheme):
+    prog = compile_source(COUNTER_SRC).program
+    r = run_threaded(prog, scheme)
+    assert r.int_output() == [40]
+    assert r.completed
+
+
+def test_semaphore_pipeline_under_threads():
+    src = """
+    int items; int space; int mailbox; int got[8];
+    void consumer(int tid) {
+        for (int i = 0; i < 8; i = i + 1) {
+            sema_wait(&items);
+            got[i] = mailbox;
+            sema_signal(&space);
+        }
+    }
+    int main() {
+        init_sema(&items, 0);
+        init_sema(&space, 1);
+        int c = spawn(consumer, 0);
+        for (int i = 0; i < 8; i = i + 1) {
+            sema_wait(&space);
+            mailbox = i * 5;
+            sema_signal(&items);
+        }
+        join(c);
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) s = s + got[i];
+        print_int(s);
+        return 0;
+    }
+    """
+    prog = compile_source(src).program
+    r = run_threaded(prog, "s9")
+    assert r.int_output() == [5 * sum(range(8))]
+
+
+def test_benchmark_verifies_on_threads():
+    w = make_workload("lu", scale="tiny")
+    r = run_threaded(w.program, "s9")
+    assert w.verify(r.output)
+
+
+def test_threaded_matches_sequential_functionally():
+    from repro.core import run_simulation
+
+    prog = compile_source(COUNTER_SRC).program
+    seq = run_simulation(prog, scheme="s9", host_cores=4,
+                         target=TargetConfig(num_cores=4))
+    thr = run_threaded(prog, "s9")
+    assert seq.int_output() == thr.int_output()
+    assert seq.instructions > 0 and thr.instructions > 0
+
+
+def test_instruction_counts_are_consistent():
+    prog = compile_source(COUNTER_SRC).program
+    r = run_threaded(prog, "su")
+    assert r.instructions == sum(c.committed for c in r.cores)

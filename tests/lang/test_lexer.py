@@ -1,0 +1,88 @@
+"""Slang lexer tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def test_empty_source_yields_eof():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind is TokenKind.EOF
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("int intx for forx")
+    assert [t.kind for t in toks[:-1]] == [
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+    ]
+
+
+def test_integer_literals():
+    toks = tokenize("0 42 0x1F")
+    assert [t.value for t in toks[:-1]] == [0, 42, 31]
+
+
+def test_float_literals():
+    toks = tokenize("1.5 0.25 2e3 1.5e-2 .5")
+    assert [t.kind for t in toks[:-1]] == [TokenKind.FLOAT] * 5
+    assert [t.value for t in toks[:-1]] == [1.5, 0.25, 2000.0, 0.015, 0.5]
+
+
+def test_integer_not_mistaken_for_float():
+    toks = tokenize("3")
+    assert toks[0].kind is TokenKind.INT
+
+
+def test_char_literals():
+    toks = tokenize("'a' '\\n' '\\0'")
+    assert [t.value for t in toks[:-1]] == [97, 10, 0]
+
+
+def test_unterminated_char_rejected():
+    with pytest.raises(LexError):
+        tokenize("'ab")
+
+
+def test_operators_maximal_munch():
+    assert texts("<<= == = <= < <<") == ["<<", "=", "==", "=", "<=", "<", "<<"]
+
+
+def test_line_comments_stripped():
+    assert texts("a // comment with int float\nb") == ["a", "b"]
+
+
+def test_block_comments_stripped():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize("a /* never ends")
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("a\n  b")
+    assert (toks[0].pos.line, toks[0].pos.col) == (1, 1)
+    assert (toks[1].pos.line, toks[1].pos.col) == (2, 3)
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError, match="unexpected"):
+        tokenize("a $ b")
+
+
+def test_empty_hex_rejected():
+    with pytest.raises(LexError, match="hex"):
+        tokenize("0x")

@@ -1,0 +1,157 @@
+"""Slang parser structural tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+from repro.lang.types import FLOAT, INT, Array, Ptr
+
+
+def parse_expr(src):
+    unit = parse("int main() { " + src + "; }")
+    stmt = unit.functions[0].body.body[0]
+    assert isinstance(stmt, A.ExprStmt)
+    return stmt.expr
+
+
+def test_minimal_unit():
+    unit = parse("int main() { return 0; }")
+    assert len(unit.functions) == 1
+    assert unit.functions[0].name == "main"
+
+
+def test_globals_and_arrays():
+    unit = parse("int n = 4;\nfloat xs[8];\nint tab[3] = {1, 2, 3};\nint main() {}\n")
+    g0, g1, g2 = unit.globals
+    assert g0.init == 4
+    assert g1.var_type == Array(FLOAT, 8)
+    assert g2.init == [1, 2, 3]
+
+
+def test_negative_global_initializer():
+    unit = parse("int n = -7;\nint main() {}")
+    assert unit.globals[0].init == -7
+
+
+def test_pointer_types():
+    unit = parse("int f(int* p, float** q) { return 0; } int main() {}")
+    p, q = unit.functions[0].params
+    assert p.param_type == Ptr(INT)
+    assert q.param_type == Ptr(Ptr(FLOAT))
+
+
+def test_array_param_decays():
+    unit = parse("int f(int a[]) { return 0; } int main() {}")
+    assert unit.functions[0].params[0].param_type == Ptr(INT)
+
+
+def test_precedence():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, A.Binary) and expr.op == "+"
+    assert isinstance(expr.right, A.Binary) and expr.right.op == "*"
+
+
+def test_comparison_binds_looser_than_arith():
+    expr = parse_expr("a + 1 < b * 2")
+    assert expr.op == "<"
+
+
+def test_logical_binds_loosest():
+    expr = parse_expr("a < b && c < d || e")
+    assert expr.op == "||"
+    assert expr.left.op == "&&"
+
+
+def test_assignment_is_right_associative():
+    expr = parse_expr("a = b = 1")
+    assert isinstance(expr, A.Assign)
+    assert isinstance(expr.value, A.Assign)
+
+
+def test_unary_chain():
+    expr = parse_expr("- - x")
+    assert isinstance(expr, A.Unary) and isinstance(expr.operand, A.Unary)
+
+
+def test_deref_and_addressof():
+    expr = parse_expr("*p = *q")
+    assert isinstance(expr, A.Assign)
+    assert isinstance(expr.target, A.Unary) and expr.target.op == "*"
+    expr = parse_expr("p = &x")
+    assert isinstance(expr.value, A.Unary) and expr.value.op == "&"
+
+
+def test_cast_vs_parenthesis():
+    cast = parse_expr("(int) x")
+    assert isinstance(cast, A.Cast)
+    paren = parse_expr("(x)")
+    assert isinstance(paren, A.Name)
+
+
+def test_pointer_cast():
+    cast = parse_expr("(int*) p")
+    assert isinstance(cast, A.Cast) and cast.target_type == Ptr(INT)
+
+
+def test_cast_binds_to_unary():
+    expr = parse_expr("(float) a + b")
+    assert isinstance(expr, A.Binary) and expr.op == "+"
+    assert isinstance(expr.left, A.Cast)
+
+
+def test_index_chains():
+    expr = parse_expr("m[i][j]")
+    assert isinstance(expr, A.Index) and isinstance(expr.base, A.Index)
+
+
+def test_call_args():
+    expr = parse_expr("f(1, x + 2, g())")
+    assert isinstance(expr, A.Call) and len(expr.args) == 3
+
+
+def test_if_else_chain():
+    unit = parse("int main() { if (a) x = 1; else if (b) x = 2; else x = 3; }")
+    stmt = unit.functions[0].body.body[0]
+    assert isinstance(stmt, A.If) and isinstance(stmt.orelse, A.If)
+
+
+def test_for_with_decl_init():
+    unit = parse("int main() { for (int i = 0; i < 4; i = i + 1) { } }")
+    stmt = unit.functions[0].body.body[0]
+    assert isinstance(stmt, A.For) and isinstance(stmt.init, A.VarDecl)
+
+
+def test_for_with_empty_clauses():
+    unit = parse("int main() { for (;;) break; }")
+    stmt = unit.functions[0].body.body[0]
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_while_single_stmt_wrapped():
+    unit = parse("int main() { while (x) x = x - 1; }")
+    stmt = unit.functions[0].body.body[0]
+    assert isinstance(stmt.body, A.Block)
+
+
+def test_local_array_decl():
+    unit = parse("int main() { int buf[16]; }")
+    decl = unit.functions[0].body.body[0]
+    assert decl.var_type == Array(INT, 16)
+
+
+def test_errors():
+    with pytest.raises(ParseError):
+        parse("int main() { return 0 }")  # missing ';'
+    with pytest.raises(ParseError):
+        parse("int main() { if x { } }")  # missing parens
+    with pytest.raises(ParseError):
+        parse("void x;\nint main() {}")  # void variable
+    with pytest.raises(ParseError):
+        parse("int a[0];\nint main() {}")  # zero-length array
+    with pytest.raises(ParseError):
+        parse("int main() { 1(2); }")  # calling a literal
+    with pytest.raises(ParseError):
+        parse("int main() {")  # unterminated block
+    with pytest.raises(ParseError):
+        parse("int g = x;\nint main() {}")  # non-constant global init

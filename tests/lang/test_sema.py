@@ -1,0 +1,179 @@
+"""Slang semantic analysis tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.lang.types import FLOAT, INT, Ptr
+
+
+def check(src):
+    return analyze(parse(src))
+
+
+def reject(src, pattern):
+    with pytest.raises(TypeError_, match=pattern):
+        check(src)
+
+
+def test_minimal_ok():
+    check("int main() { return 0; }")
+
+
+def test_main_required():
+    reject("int f() { return 0; }", "no 'main'")
+
+
+def test_main_takes_no_params():
+    reject("int main(int x) { return x; }", "no parameters")
+
+
+def test_undefined_name():
+    reject("int main() { return zz; }", "undefined name")
+
+
+def test_redefinition_of_local():
+    reject("int main() { int x; int x; }", "redefinition")
+
+
+def test_shadowing_in_nested_block_ok():
+    check("int main() { int x; { int x; x = 1; } return 0; }")
+
+
+def test_global_function_name_clash():
+    reject("int f;\nint f() { return 0; }\nint main() {}", "redefinition")
+
+
+def test_int_to_float_promotion_inserted():
+    unit = check("int main() { float x; x = 1 + 2.0; return 0; }")
+    assign = unit.functions[0].body.body[1].expr
+    assert isinstance(assign.value, A.Binary)
+    assert isinstance(assign.value.left, A.Cast)
+    assert assign.value.type is not None and assign.value.type.is_float
+
+
+def test_float_to_int_requires_cast():
+    reject("int main() { int x; x = 1.5; return 0; }", "cannot implicitly convert")
+    check("int main() { int x; x = (int) 1.5; return 0; }")
+
+
+def test_modulo_requires_ints():
+    reject("int main() { float x; x = 1.0; return 2 % (int) x + (int)(x % 2.0); }", "needs int")
+
+
+def test_pointer_arithmetic():
+    check("int main() { int a[4]; int* p; p = a; p = p + 1; return p - a; }")
+    reject("int main() { int* p; int* q; p = p + q; return 0; }", "pointer arithmetic")
+    reject("int main() { float* p; int* q; return p - q; }", "pointer arithmetic")
+
+
+def test_pointer_compare_same_type_ok():
+    check("int main() { int a[2]; int* p; p = a; return p == a; }")
+    reject("int main() { int a[2]; float f; return a == &f; }", "compare")
+
+
+def test_pointer_null_literal():
+    check("int main() { int* p; p = 0; if (p != 0) return 1; return 0; }")
+    reject("int main() { int* p; p = 3; return 0; }", "convert")
+
+
+def test_deref_requires_pointer():
+    reject("int main() { int x; return *x; }", "dereference")
+
+
+def test_addressof_requires_lvalue():
+    reject("int main() { int* p; p = &(1 + 2); return 0; }", "lvalue")
+
+
+def test_assign_to_rvalue_rejected():
+    reject("int main() { 1 = 2; return 0; }", "lvalue")
+
+
+def test_assign_to_array_rejected():
+    reject("int main() { int a[2]; int b[2]; a = b; return 0; }", "array")
+
+
+def test_index_requires_int():
+    reject("int main() { int a[4]; return a[1.5]; }", "index must be int")
+
+
+def test_index_non_pointer_rejected():
+    reject("int main() { int x; return x[0]; }", "cannot index")
+
+
+def test_call_arity_checked():
+    reject("int f(int a) { return a; }\nint main() { return f(); }", "expects 1")
+    reject("int f(int a) { return a; }\nint main() { return f(1, 2); }", "expects 1")
+
+
+def test_call_undefined():
+    reject("int main() { return zz(); }", "undefined function")
+
+
+def test_call_arg_promotion():
+    check("float f(float x) { return x; }\nint main() { return (int) f(2); }")
+
+
+def test_return_type_checked():
+    reject("void f() { return 1; }\nint main() { return 0; }", "void function")
+    reject("int f() { return; }\nint main() { return 0; }", "must return")
+
+
+def test_break_outside_loop():
+    reject("int main() { break; }", "break outside")
+    reject("int main() { continue; }", "continue outside")
+
+
+def test_break_inside_loop_ok():
+    check("int main() { while (1) { break; } return 0; }")
+
+
+def test_condition_must_be_scalar():
+    reject("float g;\nint main() { if (g) return 1; return 0; }", "condition")
+
+
+def test_builtin_signatures():
+    check("int main() { print_int(1); print_float(2.0); return 0; }")
+    reject("int main() { print_int(1, 2); return 0; }", "expects 1")
+    # int -> float promotion applies to builtins too
+    check("int main() { print_float(2); return 0; }")
+
+
+def test_table1_api_typechecks():
+    check(
+        """
+        int lk; int bar; int sem;
+        int main() {
+            init_lock(&lk); lock(&lk); unlock(&lk);
+            init_barrier(&bar, 8); barrier(&bar);
+            init_sema(&sem, 1); sema_wait(&sem); sema_signal(&sem);
+            return 0;
+        }
+        """
+    )
+
+
+def test_spawn_requires_function_name():
+    check("void w(int t) { } int main() { spawn(w, 1); return 0; }")
+    reject("int main() { spawn(3, 1); return 0; }", "function name")
+    reject("void w(int a, int b) { } int main() { spawn(w, 1); return 0; }", "one int argument")
+
+
+def test_literal_width_checked():
+    reject("int main() { return 3000000000; }", "32 signed bits")
+
+
+def test_frame_slots_assigned():
+    unit = check("int f(int a, float b) { int c; float d[4]; return a; }\nint main() { return 0; }")
+    fn = unit.functions[0]
+    types = [str(t) for t, _ in fn.frame_slots]
+    words = [w for _, w in fn.frame_slots]
+    assert types == ["int", "float", "int", "float[4]"]
+    assert words == [1, 1, 1, 4]
+
+
+def test_too_many_params_rejected():
+    params = ", ".join(f"int a{i}" for i in range(9))
+    reject(f"int f({params}) {{ return 0; }}\nint main() {{ return 0; }}", "at most 8")

@@ -1,0 +1,154 @@
+"""Tests for the interconnect, L2 NUCA, DRAM and the composed MemorySystem."""
+
+from repro.mem.dram import Dram
+from repro.mem.interconnect import Bus, Crossbar
+from repro.mem.l2nuca import L2Config, L2Nuca
+from repro.mem.memsys import MemorySystem, MemSysConfig, ReqKind
+from repro.violations.detect import ViolationCounters
+
+
+class TestBus:
+    def test_uncontended_grants_at_request_time(self):
+        bus = Bus(transfer_cycles=2)
+        assert bus.occupy(10) == 10
+        assert bus.free_at == 12
+
+    def test_contention_serialises(self):
+        bus = Bus(transfer_cycles=2)
+        assert bus.occupy(10) == 10
+        assert bus.occupy(10) == 12
+        assert bus.occupy(11) == 14
+        assert bus.stats.contention_cycles == 2 + 3
+
+    def test_out_of_order_counts_violation(self):
+        counters = ViolationCounters()
+        bus = Bus(counters=counters)
+        bus.occupy(10)
+        bus.occupy(4)   # simulated past
+        assert counters.simulation_state == 1
+        assert counters.by_resource["bus"] == 1
+
+    def test_figure4_scenario(self):
+        """Paper Figure 4: P1 (clock 3) gets the bus; P2's request at clock 2
+        is processed later and finds it busy -> granted only after release."""
+        bus = Bus(transfer_cycles=2, counters=ViolationCounters())
+        grant_p1 = bus.occupy(3)
+        grant_p2 = bus.occupy(2)
+        assert grant_p1 == 3
+        assert grant_p2 == 5  # would have been 2 in cycle-by-cycle order
+
+
+class TestCrossbar:
+    def test_ports_are_independent(self):
+        xbar = Crossbar(ports=2, transfer_cycles=3)
+        assert xbar.occupy(5, 0) == 5
+        assert xbar.occupy(5, 1) == 5
+        assert xbar.occupy(5, 0) == 8
+
+
+class TestDram:
+    def test_latency_plus_queue(self):
+        dram = Dram(latency=100, service_cycles=10)
+        assert dram.access(0) == 100
+        assert dram.access(0) == 110  # port busy until 10
+
+
+class TestL2:
+    def test_bank_mapping_spreads_blocks(self):
+        l2 = L2Nuca(L2Config(num_banks=4))
+        banks = {l2.bank_of(i * 64) for i in range(8)}
+        assert banks == {0, 1, 2, 3}
+
+    def test_hit_after_fill(self):
+        l2 = L2Nuca()
+        _, hit = l2.access(0x1000, 0, 0)
+        assert not hit
+        _, hit = l2.access(0x1000, 0, 10)
+        assert hit
+
+    def test_nuca_distance_affects_latency(self):
+        l2 = L2Nuca(L2Config(num_banks=8, bank_latency=8, hop_cycles=1), num_cores=8)
+        near = l2.unloaded_latency(0, 0)
+        far = l2.unloaded_latency(0, 7)
+        assert near == 8 and far == 15
+
+    def test_bank_conflicts_serialise(self):
+        cfg = L2Config(num_banks=1, bank_occupancy=4)
+        l2 = L2Nuca(cfg, num_cores=2)
+        t0, _ = l2.access(0x0, 0, 0)
+        t1, _ = l2.access(0x40, 1, 0)  # same bank, busy
+        assert t1 > t0 - cfg.bank_latency  # started later
+        assert l2.stats.bank_conflict_cycles == 4
+
+
+class TestMemorySystem:
+    def make(self, **kw):
+        counters = ViolationCounters()
+        return MemorySystem(MemSysConfig(**kw), num_cores=8, counters=counters), counters
+
+    def test_critical_latency_is_ten_by_default(self):
+        ms, _ = self.make()
+        assert ms.critical_latency() == 10
+
+    def test_gets_returns_after_l2_roundtrip(self):
+        ms, _ = self.make(dram_latency=50)
+        r = ms.service(ReqKind.GETS, 0x0, 0, 100)
+        # cold miss goes to DRAM
+        assert not r.l2_hit
+        assert r.ready_ts > 100 + 50
+        assert r.grant == "E"
+
+    def test_l2_hit_is_fast(self):
+        ms, _ = self.make()
+        ms.service(ReqKind.GETS, 0x0, 0, 0)      # warm the L2
+        ms.service(ReqKind.PUTM, 0x0, 0, 10)     # release ownership
+        r = ms.service(ReqKind.GETS, 0x0, 0, 1000)
+        assert r.l2_hit
+        assert 1000 + 10 <= r.ready_ts <= 1000 + 30
+
+    def test_getx_sends_invalidations(self):
+        ms, _ = self.make()
+        ms.service(ReqKind.GETS, 0x0, 0, 0)
+        ms.service(ReqKind.GETS, 0x0, 1, 20)
+        r = ms.service(ReqKind.GETX, 0x0, 2, 40)
+        assert r.grant == "M"
+        assert {victim for victim, _ in r.invalidations} == {0, 1}
+        assert all(addr == 0x0 for _, addr in r.invalidations)
+        assert r.coherence_ts >= 40
+
+    def test_remote_dirty_read_downgrades(self):
+        ms, _ = self.make()
+        ms.service(ReqKind.GETX, 0x40, 3, 0)
+        r = ms.service(ReqKind.GETS, 0x40, 5, 30)
+        assert r.downgrades == [(3, 0x40)]
+        assert r.grant == "S"
+
+    def test_upgrade_is_cheaper_than_getx(self):
+        ms, _ = self.make()
+        ms.service(ReqKind.GETS, 0x80, 0, 0)
+        ms.service(ReqKind.GETS, 0x80, 1, 10)
+        up = ms.service(ReqKind.UPGRADE, 0x80, 0, 1000)
+        ms2, _ = self.make()
+        ms2.service(ReqKind.GETS, 0x80, 1, 10)
+        ms2.service(ReqKind.PUTM, 0x80, 1, 20)
+        gx = ms2.service(ReqKind.GETX, 0x80, 0, 1000)
+        assert up.ready_ts - 1000 < gx.ready_ts - 1000
+
+    def test_putm_has_no_response_grant(self):
+        ms, _ = self.make()
+        ms.service(ReqKind.GETX, 0xC0, 0, 0)
+        r = ms.service(ReqKind.PUTM, 0xC0, 0, 50)
+        assert r.grant is None
+
+    def test_out_of_order_servicing_counts_violations(self):
+        ms, counters = self.make()
+        ms.service(ReqKind.GETS, 0x0, 0, 100)
+        ms.service(ReqKind.GETS, 0x40, 1, 50)  # simulated past on the bus
+        assert counters.simulation_state >= 1
+
+    def test_in_order_servicing_is_violation_free(self):
+        ms, counters = self.make()
+        for ts, core in ((10, 0), (20, 1), (30, 2)):
+            ms.service(ReqKind.GETS, 0x0, core, ts)
+        assert counters.simulation_state == 0
+        assert counters.system_state == 0

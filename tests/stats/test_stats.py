@@ -1,0 +1,63 @@
+"""Metrics and table-rendering tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import Table, geometric_mean, harmonic_mean, percent, relative_error
+
+
+class TestMetrics:
+    def test_harmonic_mean_known_value(self):
+        assert harmonic_mean([1, 2, 4]) == pytest.approx(12 / 7)
+
+    def test_harmonic_mean_of_constant(self):
+        assert harmonic_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_harmonic_mean_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=20))
+    def test_harmonic_le_geometric_le_max(self, values):
+        h = harmonic_mean(values)
+        g = geometric_mean(values)
+        assert h <= g * (1 + 1e-9)
+        assert min(values) - 1e-9 <= h <= max(values) + 1e-9
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.10)
+        assert relative_error(90, 100) == pytest.approx(0.10)
+        with pytest.raises(ValueError):
+            relative_error(1, 0)
+
+    def test_percent(self):
+        assert percent(0.0594) == "5.94%"
+        assert percent(0.1, 0) == "10%"
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table("Demo", ["a", "b"])
+        t.add_row("x", 1.5)
+        text = t.render()
+        assert "Demo" in text and "x" in text and "1.50" in text
+
+    def test_row_width_checked(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_alignment_is_consistent(self):
+        t = Table("T", ["col", "value"])
+        t.add_row("short", 1)
+        t.add_row("a-much-longer-cell", 22)
+        lines = t.render().splitlines()
+        header = next(line for line in lines if "col" in line)
+        rows = [line for line in lines if "short" in line or "longer" in line]
+        assert len({len(r) for r in rows + [header]}) == 1

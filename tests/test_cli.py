@@ -1,0 +1,64 @@
+"""CLI tests (``slacksim`` / ``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_schemes_lists_all(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cc", "q10", "l10", "s9", "s9*", "s100", "su"):
+        assert name in out
+
+
+def test_run_verifies_workload(capsys):
+    assert main(["run", "--workload", "lu", "--scheme", "s9", "--scale", "tiny",
+                 "--host-cores", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out and "[s9" in out
+
+
+def test_run_verbose_shows_cores(capsys):
+    assert main(["run", "--workload", "water", "--scale", "tiny", "-v",
+                 "--host-cores", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "core 0:" in out and "L1 misses" in out
+
+
+def test_run_ooo_core_model(capsys):
+    assert main(["run", "--workload", "fft", "--scale", "tiny",
+                 "--core-model", "ooo", "--host-cores", "2"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_compile_and_functional_run(tmp_path, capsys):
+    src = tmp_path / "p.sl"
+    src.write_text("int main() { print_int(6 * 7); return 0; }\n")
+    assert main(["compile", str(src), "--run"]) == 0
+    out = capsys.readouterr().out
+    assert "42" in out and "functional run" in out
+
+
+def test_compile_asm_output(tmp_path, capsys):
+    src = tmp_path / "p.sl"
+    src.write_text("int main() { return 3; }\n")
+    assert main(["compile", str(src), "--asm"]) == 0
+    out = capsys.readouterr().out
+    assert "fn_main:" in out and ".text" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--workload", "lu", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "slack sweep" in out and "su" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_run_requires_known_workload():
+    with pytest.raises(KeyError):
+        main(["run", "--workload", "nosuch", "--scale", "tiny"])

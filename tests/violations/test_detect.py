@@ -1,0 +1,93 @@
+"""Violation taxonomy tests (paper §3.2): counters, Figure 7 word races,
+fast-forward compensation."""
+
+from repro.violations.detect import ViolationCounters, WordOrderTracker
+
+
+class TestCounters:
+    def test_totals(self):
+        c = ViolationCounters()
+        c.record_simulation_state("bus")
+        c.record_system_state()
+        c.record_workload_state()
+        assert c.total == 3
+        assert c.by_resource == {"bus": 1, "directory": 1}
+
+    def test_summary_text(self):
+        c = ViolationCounters()
+        c.record_workload_state()
+        assert "workload=1" in c.summary()
+
+    def test_fastforward_accounting(self):
+        c = ViolationCounters()
+        c.record_fastforward(5)
+        c.record_fastforward(3)
+        assert c.fastforwards == 2
+        assert c.fastforward_cycles == 8
+
+
+class TestWordOrderTracker:
+    def test_clean_ordering_has_no_violations(self):
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_store(0x100, core=0, ts=10)
+        t.observe_load(0x100, core=1, ts=20)
+        assert c.workload_state == 0
+
+    def test_figure7_scenario(self):
+        """Paper Figure 7: P1 loads M (simulated cycle 4) before P2's store
+        to M (simulated cycle 2) is performed — in simulation time the load
+        came first, violating the cycle-by-cycle order."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_load(0x200, core=0, ts=4)    # P1: Load R1, M at cycle 4
+        t.observe_store(0x200, core=1, ts=2)   # P2: Store R2, M at cycle 2
+        assert c.workload_state == 1
+
+    def test_load_after_future_store(self):
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_store(0x200, core=1, ts=50)
+        t.observe_load(0x200, core=0, ts=30)   # reads the "future" value
+        assert c.workload_state == 1
+
+    def test_same_core_races_do_not_count(self):
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_load(0x300, core=0, ts=10)
+        t.observe_store(0x300, core=0, ts=5)   # same core: program order
+        assert c.workload_state == 0
+
+    def test_different_words_are_independent(self):
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_load(0x100, core=0, ts=10)
+        t.observe_store(0x108, core=1, ts=5)
+        assert c.workload_state == 0
+
+    def test_fastforward_compensation(self):
+        """§3.2.3: the store's core fast-forwards so the store appears
+        contemporaneous with the conflicting load."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c, fastforward=True)
+        t.observe_load(0x200, core=0, ts=10)
+        ff = t.observe_store(0x200, core=1, ts=7)
+        assert ff == 4  # 10 - 7 + 1
+        assert c.fastforwards == 1
+        assert c.fastforward_cycles == 4
+
+    def test_no_fastforward_when_disabled(self):
+        c = ViolationCounters()
+        t = WordOrderTracker(c, fastforward=False)
+        t.observe_load(0x200, core=0, ts=10)
+        assert t.observe_store(0x200, core=1, ts=7) == 0
+        assert c.workload_state == 1
+
+    def test_fastforwarded_store_timestamp_advances(self):
+        c = ViolationCounters()
+        t = WordOrderTracker(c, fastforward=True)
+        t.observe_load(0x200, core=0, ts=10)
+        t.observe_store(0x200, core=1, ts=7)   # fast-forwarded to ts 11
+        # A later load at 12 sees the store in its past: no new violation.
+        t.observe_load(0x200, core=0, ts=12)
+        assert c.workload_state == 1  # only the original one
