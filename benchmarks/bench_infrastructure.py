@@ -1,43 +1,75 @@
 """Micro-benchmarks of the simulator infrastructure itself: compiler
 throughput and engine cycle rate.  These use pytest-benchmark's statistics
-properly (multiple rounds) since each call is cheap."""
+properly (multiple rounds) since each call is cheap.
+
+Besides the interactive pytest-benchmark table, each test records its mean
+wall time and throughput via :mod:`repro.stats.perfjson`; at session end the
+batch is written to ``BENCH_engine.json`` in the repo root, which
+``benchmarks/check_regression.py`` gates against ``benchmarks/BASELINES.json``
+(>20% throughput regression fails CI)."""
+
+import os
+import pathlib
+
+import pytest
 
 from repro.core import run_simulation
 from repro.core.config import HostConfig, SimConfig, TargetConfig
 from repro.lang import compile_source
+from repro.stats.perfjson import PerfRecorder
 from repro.workloads.fft import fft_source
 from repro.workloads.synthetic import sharing_workload
 
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
-def test_compile_throughput(benchmark):
+
+@pytest.fixture(scope="module")
+def perf():
+    recorder = PerfRecorder(scale=os.environ.get("REPRO_SCALE", "tiny"))
+    yield recorder
+    if recorder.entries:
+        print(f"\n[perf record written to {recorder.write(BENCH_JSON)}]")
+
+
+def _engine_run(scheme):
+    return run_simulation(
+        None,
+        trace_cores=sharing_workload(4, 20, seed=1),
+        host=HostConfig(num_cores=4),
+        sim=SimConfig(scheme=scheme, seed=1),
+        target=TargetConfig(num_cores=4, core_model="trace"),
+    )
+
+
+def test_compile_throughput(benchmark, perf):
     src = fft_source(64, 8)
     result = benchmark(lambda: compile_source(src))
     assert result.program.size_insns > 100
+    perf.record(
+        "compile_throughput",
+        seconds=benchmark.stats.stats.mean,
+        work=result.program.size_insns,
+        work_unit="insns",
+    )
 
 
-def test_engine_cycle_rate_cc(benchmark):
-    def run():
-        return run_simulation(
-            None,
-            trace_cores=sharing_workload(4, 20, seed=1),
-            host=HostConfig(num_cores=4),
-            sim=SimConfig(scheme="cc", seed=1),
-            target=TargetConfig(num_cores=4, core_model="trace"),
-        )
-
-    result = benchmark(run)
+def test_engine_cycle_rate_cc(benchmark, perf):
+    result = benchmark(lambda: _engine_run("cc"))
     assert result.completed
+    perf.record(
+        "engine_cycle_rate_cc",
+        seconds=benchmark.stats.stats.mean,
+        work=result.execution_cycles,
+        work_unit="cycles",
+    )
 
 
-def test_engine_cycle_rate_su(benchmark):
-    def run():
-        return run_simulation(
-            None,
-            trace_cores=sharing_workload(4, 20, seed=1),
-            host=HostConfig(num_cores=4),
-            sim=SimConfig(scheme="su", seed=1),
-            target=TargetConfig(num_cores=4, core_model="trace"),
-        )
-
-    result = benchmark(run)
+def test_engine_cycle_rate_su(benchmark, perf):
+    result = benchmark(lambda: _engine_run("su"))
     assert result.completed
+    perf.record(
+        "engine_cycle_rate_su",
+        seconds=benchmark.stats.stats.mean,
+        work=result.execution_cycles,
+        work_unit="cycles",
+    )

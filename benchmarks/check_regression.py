@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Bench smoke gate: fail CI on a >20% engine-throughput regression.
+
+Compares the throughput figures in ``BENCH_engine.json`` (written by
+``pytest benchmarks/bench_infrastructure.py --benchmark-only``) against the
+pinned ``benchmarks/BASELINES.json``.  Because absolute wall times shift
+between machines, both files carry a *calibration* measurement — the wall
+time of a fixed pure-Python workload — and baselines are rescaled by the
+measured host-speed ratio before the 20% threshold is applied.
+
+Usage::
+
+    python benchmarks/check_regression.py            # gate (exit 1 on fail)
+    python benchmarks/check_regression.py --update   # re-pin baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINES_PATH = pathlib.Path(__file__).resolve().parent / "BASELINES.json"
+BENCH_PATH = ROOT / "BENCH_engine.json"
+
+#: Maximum tolerated throughput regression after host-speed rescaling.
+THRESHOLD = 0.20
+
+
+def calibrate() -> float:
+    """Wall seconds for a fixed, allocation-and-arithmetic Python workload
+    (min of 5 runs). Used to normalize baselines across host machines."""
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        acc = 0
+        d = {}
+        for i in range(200_000):
+            acc += (i * 3) ^ (i >> 2)
+            if i & 1023 == 0:
+                d[i] = acc
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-pin BASELINES.json from the current BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    if not BENCH_PATH.exists():
+        print(f"error: {BENCH_PATH} not found — run "
+              "`pytest benchmarks/bench_infrastructure.py --benchmark-only` first")
+        return 2
+    bench = json.loads(BENCH_PATH.read_text())
+    cal = calibrate()
+
+    if args.update:
+        payload = {
+            "calibration_seconds": cal,
+            "scale": bench.get("scale", "tiny"),
+            "benchmarks": {
+                name: {"throughput": entry["throughput"], "work_unit": entry.get("work_unit", "")}
+                for name, entry in bench["benchmarks"].items()
+                if "throughput" in entry
+            },
+        }
+        BASELINES_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"baselines re-pinned to {BASELINES_PATH} (calibration {cal*1e3:.2f}ms)")
+        return 0
+
+    if not BASELINES_PATH.exists():
+        print(f"error: {BASELINES_PATH} not found — pin with --update")
+        return 2
+    base = json.loads(BASELINES_PATH.read_text())
+    if bench.get("scale") != base.get("scale"):
+        print(f"error: scale mismatch (bench {bench.get('scale')!r} vs "
+              f"baseline {base.get('scale')!r}) — rerun at the baseline scale")
+        return 2
+
+    # Host-speed ratio: >1 means this machine is faster than the baseline
+    # machine, so proportionally more throughput is expected.
+    speed = base["calibration_seconds"] / cal
+    print(f"calibration: baseline {base['calibration_seconds']*1e3:.2f}ms, "
+          f"here {cal*1e3:.2f}ms -> host speed x{speed:.2f}")
+
+    failed = False
+    for name, pinned in sorted(base["benchmarks"].items()):
+        entry = bench["benchmarks"].get(name)
+        if entry is None or "throughput" not in entry:
+            print(f"  MISSING {name}: not present in {BENCH_PATH.name}")
+            failed = True
+            continue
+        expected = pinned["throughput"] * speed
+        actual = entry["throughput"]
+        ratio = actual / expected if expected > 0 else 0.0
+        unit = pinned.get("work_unit", "")
+        status = "ok" if ratio >= 1.0 - THRESHOLD else "REGRESSION"
+        print(f"  {status:10s} {name}: {actual:,.0f} {unit}/s "
+              f"vs expected {expected:,.0f} ({ratio:.2f}x)")
+        if ratio < 1.0 - THRESHOLD:
+            failed = True
+    if failed:
+        print(f"FAIL: throughput regressed more than {THRESHOLD:.0%} "
+              "(or benchmarks missing)")
+        return 1
+    print("bench smoke: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -44,6 +44,11 @@ class HostConfig:
     cycle_cost: float = 1.0
     #: Host work for a stalled/idle target cycle (spin/wait loops are cheap).
     idle_cycle_cost: float = 0.25
+    #: Host work per target cycle advanced inside a batched wait-stretch jump
+    #: (clock bookkeeping only — the simulator does not execute these cycles).
+    skip_cycle_cost: float = 0.02
+    #: Host work per wait-stretch jump (the O(1) overhead of one skip).
+    skip_stretch_cost: float = 0.3
     #: Extra host work per event generated or consumed by a core thread.
     event_cost: float = 1.5
     #: Host work for the manager to service one GQ request.
@@ -54,6 +59,11 @@ class HostConfig:
     suspend_cost: float = 0.8
     #: Cost to wake a suspended thread (paid when its window reopens).
     wake_cost: float = 1.5
+    #: Extra serial delay per *additional* thread woken by the same step:
+    #: futex wake-ups leave the waker one at a time, so a barrier reopening
+    #: all N cores hands off its wakes in a chain while a slack window raise
+    #: typically wakes a single core.
+    wake_fanout_cost: float = 0.2
     #: Lognormal sigma of multiplicative per-batch cost jitter (models
     #: instruction-mix variance across threads; drives load imbalance).
     jitter_sigma: float = 0.25
@@ -75,5 +85,22 @@ class SimConfig:
     detect_violations: bool = True
     #: Compensate detected workload violations by fast-forwarding (§3.2.3).
     fastforward: bool = False
-    #: Max target cycles a core thread advances per engine step (batching).
-    batch_cycles: int = 8
+    #: Extra cap on target cycles per engine turn (0 = uncapped: turns are
+    #: sized by the scheme's grant alone).  Figure 2 sets 1 to probe the
+    #: clock protocol at single-cycle granularity.
+    batch_cycles: int = 0
+    #: Hard cap on target cycles per engine turn, independent of the scheme's
+    #: slack grant (0 = uncapped).  A sequential turn is the de-facto
+    #: concurrency granule: while one core runs, no other core's coherence
+    #: traffic can reach it, so an unbounded turn would let a core run to
+    #: completion without ever observing an invalidation.  Keep this well
+    #: above the typical wait stretch (so batching still pays) but small
+    #: enough that cross-core traffic interleaves.
+    turn_cycles: int = 64
+    #: Stepping mode: "batched" jumps wait stretches via the wait_state/skip
+    #: protocol; "single" runs the identical turn structure one model.step
+    #: per cycle (the equivalence oracle for the golden tests).
+    stepping: str = "batched"
+    #: Cycles a core burns waiting on external input (a manager response)
+    #: before yielding its turn.  Bounds de-facto turn size under su.
+    wait_chunk: int = 16

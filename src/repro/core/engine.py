@@ -30,8 +30,9 @@ from repro.core.config import HostConfig, SimConfig, TargetConfig
 from repro.core.corethread import CoreState, CoreThread
 from repro.core.manager import SimulationManager
 from repro.core.results import CoreResult, SimulationResult
-from repro.core.schemes import parse_scheme
+from repro.core.schemes import INFINITY, Lookahead, parse_scheme
 from repro.cpu.arch import ArchState
+from repro.cpu.interfaces import WAIT_EXTERNAL
 from repro.cpu.l1cache import L1Cache
 from repro.host.costmodel import CostModel
 from repro.host.hostmodel import HostModel
@@ -75,6 +76,13 @@ class SequentialEngine:
         self.costmodel = CostModel(self.host_cfg, self.sim.seed, self.target.num_cores)
         self.system: SystemEmulation | None = None
         self._pending_activations: list[int] = []
+        self._grant_needs_oldest = isinstance(self.scheme, Lookahead)
+        # Combined turn_cycles/batch_cycles cap (0 in config = uncapped).
+        cap = self.sim.turn_cycles if self.sim.turn_cycles else INFINITY
+        if self.sim.batch_cycles and self.sim.batch_cycles < cap:
+            cap = self.sim.batch_cycles
+        self._turn_cap = cap
+        self._active_cores = 0
         self.total_committed = 0
         self.engine_steps = 0
         #: Optional probe(host_time, global_time, locals) called after every
@@ -163,76 +171,242 @@ class SequentialEngine:
         )
         self._init_registers(core, tid)
         self._start_core(self.cores[core], pc, arg, ts)
+        self._active_cores += 1
         self._pending_activations.append(core)
 
     # ------------------------------------------------------------------- run
     def _all_done(self) -> bool:
         return all(ct.state != CoreState.ACTIVE for ct in self.cores)
 
+    def _turn_budget(self, ct: CoreThread) -> int:
+        """Target cycles this core may run in one engine turn.
+
+        The scheme's grant (quantum/window/lookahead remainder) clamped by
+        the core's own window edge, the optional ``batch_cycles`` cap, and
+        the ``max_cycles`` safety net (the budget may exceed it by one so
+        the runaway guard still fires).
+        """
+        local = ct.local_time
+        manager = self.manager
+        if self._grant_needs_oldest:
+            budget = self.scheme.grant(manager.global_time, local, manager.gq.oldest_ts())
+        else:
+            # Inlined default Scheme.grant: max(0, max_local(global) - local).
+            budget = self.scheme.max_local(manager.global_time) - local
+            if budget < 0:
+                budget = 0
+        window = ct.max_local_time - local
+        if window < budget:
+            budget = window
+        if self._turn_cap < budget:
+            budget = self._turn_cap
+        net = self.sim.max_cycles + 1 - local
+        if net < budget:
+            budget = net
+        return budget if budget > 0 else 1
+
     def run(self) -> SimulationResult:
         sim = self.sim
         heap: list[tuple[float, int, int]] = []  # (ready, seq, idx); idx -1 = manager
         seq = itertools.count()
-        suspended = [False] * len(self.cores)
-        heapq.heappush(heap, (0.0, next(seq), -1))
-        for ct in self.cores:
+        nxt = seq.__next__
+        cores = self.cores
+        manager = self.manager
+        costmodel = self.costmodel
+        hostrun = self.hostmodel.run
+        heappush, heappop = heapq.heappush, heapq.heappop
+        # Hot-loop hoists: none of these can change mid-run.
+        probe = self.probe
+        suspend_cost = self.host_cfg.suspend_cost
+        wake_cost = costmodel.wake_cost
+        fanout_cost = costmodel.wake_fanout_cost
+        turn_budget = self._turn_budget
+        core_batch_cost = costmodel.core_batch_cost
+        manager_step_cost = costmodel.manager_step_cost
+        suspended = [False] * len(cores)
+        # Parked: blocked on external input with an empty InQ — the core
+        # cannot progress until the manager delivers (or a peer releases a
+        # blocking syscall), so it is not rescheduled until then.  This is
+        # the InQ-empty block of a real implementation; without it, an
+        # unbounded-slack core pays a polling turn per response round-trip.
+        parked = [False] * len(cores)
+        # Host time at which each core thread's last scheduled step finishes.
+        # A wake (window raise, delivery, release) is produced at the *waker's*
+        # completion time, which can precede the wakee's — a turn's target
+        # effects are visible at pop time, but its host cost is still being
+        # paid.  One pthread cannot run on two host cores at once, so every
+        # push for a core clamps to the core's own availability.
+        next_free = [0.0] * len(cores)
+        batched = [hasattr(ct.model, "wait_state") for ct in cores]
+        # Parking is only deadlock-free when the blocked core's own clock is
+        # not needed for its wake to be produced.  A memory response needs
+        # the manager to service the GQ — gated on global time under the
+        # conservative policies, so only "immediate" schemes may park on it.
+        # A spin wait (lock/barrier) needs *another core* to run, which
+        # window-bounded schemes won't allow while this core pins global
+        # time, so only unbounded slack may park on it.
+        park_pending = self.scheme.gq_policy == "immediate"
+        park_spin = self.scheme.slack >= INFINITY
+        # Under a barrier policy the manager provably does nothing until every
+        # active core has reached the barrier (or a core has OutQ traffic to
+        # drain): a manager step before that returns (0, 0, []) and charges
+        # the jitter-free poll cost — exactly what elision charges.  So core
+        # turns only mark the manager dirty on events/wakes/state changes or
+        # when their suspension completes the barrier, which removes ~2/3 of
+        # the Python-level manager steps under cc/qN at identical results.
+        # Adaptive quantum is excluded: its adapt() hook reads global time,
+        # which even a does-nothing manager step advances, so for it idle
+        # steps are not side-effect-free.
+        barrier_policy = (
+            self.scheme.gq_policy == "barrier"
+            and getattr(self.scheme, "adapt", None) is None
+        )
+        n_susp = 0
+        single = sim.stepping == "single"
+        wait_chunk = sim.wait_chunk
+        heappush(heap, (0.0, nxt(), -1))
+        active_cores = 0
+        for ct in cores:
             if ct.state == CoreState.ACTIVE:
-                heapq.heappush(heap, (0.0, next(seq), ct.core_id))
+                active_cores += 1
+                heappush(heap, (0.0, nxt(), ct.core_id))
+        self._active_cores = active_cores
 
+        # Manager elision: a manager step with no new core work since the
+        # previous step provably drains/processes/raises nothing, so the
+        # Python call is skipped and only its (identical, jitter-free) poll
+        # cost is charged.  Disabled while a probe wants per-step samples.
+        mgr_dirty = True
+        poll_cost = self.host_cfg.manager_poll_cost
         mgr_idle_streak = 0
         completed = True
         max_steps = 200_000_000
 
-        while not self._all_done():
+        while self._active_cores:
             if not heap:
                 raise EngineError("host queue empty with active cores — engine bug")
             self.engine_steps += 1
             if self.engine_steps > max_steps:
                 raise EngineError("engine step limit exceeded (runaway simulation)")
-            ready, _, idx = heapq.heappop(heap)
+            ready, _, idx = heappop(heap)
 
             if idx == -1:
-                result = self.manager.step()
-                cost = self.costmodel.manager_step_cost(result.drained, result.processed)
-                done_t = self.hostmodel.run(ready, cost)
+                if not mgr_dirty and probe is None:
+                    # Consecutive idle polls: keep polling while the manager
+                    # is provably the next host event.  Nothing can mark it
+                    # dirty before the next heap entry runs, so this inner
+                    # loop is step-for-step identical to re-queueing every
+                    # poll through the heap — minus the heap churn, which
+                    # dominated the cc profile.  Strict < preserves the tie
+                    # break (a re-pushed poll has a larger seq and loses).
+                    done_t = hostrun(ready, poll_cost)
+                    mgr_idle_streak += 1
+                    while heap and done_t < heap[0][0]:
+                        done_t = hostrun(done_t, poll_cost)
+                        mgr_idle_streak += 1
+                        if mgr_idle_streak > 100_000:
+                            break
+                    if mgr_idle_streak > 100_000:
+                        self._diagnose_deadlock(suspended, parked)
+                    heappush(heap, (done_t, nxt(), -1))
+                    continue
+                result = manager.step()
+                mgr_dirty = False
+                cost = manager_step_cost(result.drained, result.processed)
+                done_t = hostrun(ready, cost)
+                # Wakes leave the manager serially (futex hand-off): the
+                # k-th thread woken by this step starts k-1 fanout delays
+                # later.  This is what a barrier reopening all N cores pays
+                # that a slack raise (typically one core) does not.
+                woken = 0
                 for cid in result.raised:
                     if suspended[cid]:
                         suspended[cid] = False
-                        heapq.heappush(heap, (done_t + self.costmodel.wake_cost, next(seq), cid))
-                self._drain_activations(heap, seq, done_t)
+                        n_susp -= 1
+                        wake_t = done_t + wake_cost + woken * fanout_cost
+                        woken += 1
+                        heappush(heap, (max(wake_t, next_free[cid]), nxt(), cid))
+                for cid, ct in enumerate(cores):
+                    if parked[cid] and ct.inq:
+                        parked[cid] = False
+                        wake_t = done_t + wake_cost + woken * fanout_cost
+                        woken += 1
+                        heappush(heap, (max(wake_t, next_free[cid]), nxt(), cid))
+                self._drain_activations(heap, nxt, done_t, next_free)
                 if result.work == 0 and not result.raised:
                     mgr_idle_streak += 1
                     if mgr_idle_streak > 100_000:
-                        self._diagnose_deadlock(suspended)
+                        self._diagnose_deadlock(suspended, parked)
                 else:
                     mgr_idle_streak = 0
-                if self.probe is not None:
-                    self.probe(
+                if probe is not None:
+                    probe(
                         done_t,
-                        self.manager.global_time,
+                        manager.global_time,
                         [
                             c.local_time if c.state == CoreState.ACTIVE else -1
-                            for c in self.cores
+                            for c in cores
                         ],
                     )
-                heapq.heappush(heap, (done_t, next(seq), -1))
+                heappush(heap, (done_t, nxt(), -1))
                 continue
 
-            ct = self.cores[idx]
+            ct = cores[idx]
             if ct.state != CoreState.ACTIVE:
                 continue
             if ct.local_time >= ct.max_local_time:
-                suspended[idx] = True
-                self.hostmodel.run(ready, self.host_cfg.suspend_cost)
-                continue
-            stats = ct.run(sim.batch_cycles)
-            mgr_idle_streak = 0
+                # Re-read the shared clocks before paying the suspend/wake
+                # round trip (free: two word reads in the real thing).
+                if not manager.refresh_window(ct):
+                    suspended[idx] = True
+                    n_susp += 1
+                    if barrier_policy and n_susp >= self._active_cores:
+                        mgr_dirty = True
+                        mgr_idle_streak = 0
+                    next_free[idx] = hostrun(ready, suspend_cost)
+                    continue
+            budget = turn_budget(ct)
+            if batched[idx]:
+                stats = ct.step_many(budget, wait_chunk=wait_chunk, single=single)
+            else:
+                # Models without the batching protocol keep the legacy
+                # per-cycle loop at seed-era chunking (identical either mode).
+                stats = ct.run(min(budget, 8))
+            if (
+                not barrier_policy
+                or ct.outq._q
+                or stats.wakes
+                or ct.state != CoreState.ACTIVE
+            ):
+                mgr_dirty = True
+                mgr_idle_streak = 0
             for core_id, release_ts in stats.wakes:
-                self.cores[core_id].model.release(release_ts)
-            cost = self.costmodel.core_batch_cost(idx, stats, suspended=stats.hit_window_edge)
-            done_t = self.hostmodel.run(ready, cost)
-            self._drain_activations(heap, seq, done_t)
+                cores[core_id].model.release(release_ts)
+            park = False
+            if (
+                ct.state == CoreState.ACTIVE
+                and not stats.hit_window_edge
+                and batched[idx]
+                and (park_pending or park_spin)
+            ):
+                ws = ct.model.wait_state(ct.local_time)
+                if ws is not None and ws[0] >= WAIT_EXTERNAL and not len(ct.inq):
+                    spinning = getattr(ct.model, "spinning", False)
+                    park = park_spin if spinning else park_pending
+            cost = core_batch_cost(idx, stats, suspended=stats.hit_window_edge or park)
+            done_t = hostrun(ready, cost)
+            next_free[idx] = done_t
+            woken = 0
+            for core_id, _ in stats.wakes:
+                if parked[core_id]:
+                    parked[core_id] = False
+                    wake_t = done_t + wake_cost + woken * fanout_cost
+                    woken += 1
+                    heappush(heap, (max(wake_t, next_free[core_id]), nxt(), core_id))
+            self._drain_activations(heap, nxt, done_t, next_free)
             self.total_committed += stats.committed
+            if ct.state != CoreState.ACTIVE:
+                self._active_cores -= 1
             if ct.local_time > sim.max_cycles:
                 raise EngineError(
                     f"core {idx} exceeded max_cycles={sim.max_cycles} "
@@ -243,25 +417,38 @@ class SequentialEngine:
                 break
             if ct.state == CoreState.ACTIVE:
                 if stats.hit_window_edge:
-                    suspended[idx] = True
+                    if manager.refresh_window(ct):
+                        # The shared clocks already moved (this core may
+                        # itself hold the minimum): no suspend round trip.
+                        heappush(heap, (done_t, nxt(), idx))
+                    else:
+                        suspended[idx] = True
+                        n_susp += 1
+                        if barrier_policy and n_susp >= self._active_cores:
+                            mgr_dirty = True
+                            mgr_idle_streak = 0
+                elif park:
+                    parked[idx] = True
                 else:
-                    heapq.heappush(heap, (done_t, next(seq), idx))
+                    heappush(heap, (done_t, nxt(), idx))
 
         self.manager.check_invariants()
         return self._build_result(completed)
 
-    def _drain_activations(self, heap, seq, ready: float) -> None:
+    def _drain_activations(self, heap, nxt, ready: float, next_free: list[float]) -> None:
         while self._pending_activations:
             core = self._pending_activations.pop()
-            heapq.heappush(heap, (ready + self.costmodel.wake_cost, next(seq), core))
+            start = max(ready + self.costmodel.wake_cost, next_free[core])
+            heapq.heappush(heap, (start, nxt(), core))
 
-    def _diagnose_deadlock(self, suspended: list[bool]) -> None:
+    def _diagnose_deadlock(self, suspended: list[bool], parked: list[bool]) -> None:
         lines = [f"engine deadlock under scheme {self.scheme.name}:"]
         lines.append(f"  global_time={self.manager.global_time}")
         for ct in self.cores:
             lines.append(
                 f"  core {ct.core_id}: state={ct.state} local={ct.local_time} "
                 f"max={ct.max_local_time} suspended={suspended[ct.core_id]} "
+                f"parked={parked[ct.core_id]} "
                 f"phase={ct.model.phase if ct.model else '?'} inq={len(ct.inq)} outq={len(ct.outq)}"
             )
         lines.append(f"  gq={len(self.manager.gq)}")

@@ -6,6 +6,11 @@ services requests against the shared memory system, and pushes *responses*
 (data + granted MESI state) and *coherence messages* (invalidate/downgrade)
 into core InQs.  "In each entry, a timestamp records the time ... an event
 initiates and should take effect."
+
+Hot-path layout: :class:`EvKind` is an :class:`~enum.IntEnum` so kinds can
+index flat dispatch tables (:data:`REQUEST_KINDS` is such a table), and
+:class:`Event` is a ``__slots__`` dataclass — millions of events are created
+per run, so per-instance dict overhead is worth eliminating.
 """
 
 from __future__ import annotations
@@ -19,25 +24,36 @@ from repro.mem.directory import ReqKind
 __all__ = ["EvKind", "Event", "REQUEST_KINDS", "new_seq"]
 
 
-class EvKind(enum.Enum):
-    # Core -> manager (OutQ / GQ).
-    GETS = "gets"
-    GETX = "getx"
-    UPGRADE = "upgrade"
-    PUTM = "putm"
+class EvKind(enum.IntEnum):
+    # Core -> manager (OutQ / GQ).  Request kinds come first so
+    # ``kind <= _LAST_REQUEST`` and table indexing stay trivial.
+    GETS = 0
+    GETX = 1
+    UPGRADE = 2
+    PUTM = 3
     # Manager -> core (InQ).
-    RESPONSE = "response"
-    INVALIDATE = "invalidate"
-    DOWNGRADE = "downgrade"
+    RESPONSE = 4
+    INVALIDATE = 5
+    DOWNGRADE = 6
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
 
 
-#: OutQ kinds and their directory request mapping.
-REQUEST_KINDS: dict[EvKind, ReqKind] = {
-    EvKind.GETS: ReqKind.GETS,
-    EvKind.GETX: ReqKind.GETX,
-    EvKind.UPGRADE: ReqKind.UPGRADE,
-    EvKind.PUTM: ReqKind.PUTM,
-}
+_LAST_REQUEST = EvKind.PUTM
+
+#: OutQ kinds and their directory request mapping, indexed by ``int(kind)``
+#: (``None`` for the manager->core kinds).
+REQUEST_KINDS: tuple[ReqKind | None, ...] = (
+    ReqKind.GETS,
+    ReqKind.GETX,
+    ReqKind.UPGRADE,
+    ReqKind.PUTM,
+    None,
+    None,
+    None,
+)
 
 _seq_counter = itertools.count()
 
@@ -47,7 +63,7 @@ def new_seq() -> int:
     return next(_seq_counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """One queue entry.
 
@@ -65,10 +81,13 @@ class Event:
     grant: str | None = None
     #: For RESPONSE: the seq of the request this answers.
     req_seq: int | None = None
+    #: GQ bookkeeping: set once the manager has serviced this entry (the GQ
+    #: keeps the same event in both its FIFO and its timestamp heap).
+    consumed: bool = field(default=False, compare=False, repr=False)
 
     @property
     def is_request(self) -> bool:
-        return self.kind in REQUEST_KINDS
+        return self.kind <= _LAST_REQUEST
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<{self.kind.value} core={self.core} addr={self.addr:#x} ts={self.ts} seq={self.seq}>"
+        return f"<{self.kind.label} core={self.core} addr={self.addr:#x} ts={self.ts} seq={self.seq}>"

@@ -45,6 +45,10 @@ class SimulationManager:
         self.global_time = 0
         self.requests_processed = 0
         self.barriers_completed = 0
+        # Hoisted policy facts (schemes are immutable descriptors).
+        self._barrier = scheme.gq_policy == "barrier"
+        self._lookahead = isinstance(scheme, Lookahead)
+        self._adapt = getattr(scheme, "adapt", None)
 
     # ------------------------------------------------------------- utilities
     def _active(self) -> list[CoreThread]:
@@ -52,9 +56,38 @@ class SimulationManager:
 
     def current_max_local(self) -> int:
         """Window bound for a newly activated core under the current scheme."""
-        if isinstance(self.scheme, Lookahead):
+        if self._lookahead:
             return self.scheme.max_local(self.global_time, self.gq.oldest_ts())
         return self.scheme.max_local(self.global_time)
+
+    def refresh_window(self, ct: CoreThread) -> bool:
+        """Re-read the shared clocks on behalf of *ct* at its window edge.
+
+        In the threaded implementation the pacing variables are plain shared
+        words: a core that hits its window edge re-reads them before paying
+        the suspend/wake round trip, and the slowest core — whose own
+        progress *is* the minimum — never blocks at all.  Returns True and
+        raises ``ct.max_local_time`` if the window has already moved.
+
+        Only sliding-window policies qualify: under a barrier the edge is a
+        hard synchronization point that must wait for the manager's GQ pass,
+        so self-refresh would let cores skip coherence servicing.
+        """
+        if self._barrier:
+            return False
+        min_local = None
+        for c in self.cores:
+            if c.state == CoreState.ACTIVE:
+                lt = c.local_time
+                if min_local is None or lt < min_local:
+                    min_local = lt
+        if min_local is not None and min_local > self.global_time:
+            self.global_time = min_local
+        new_max = self.current_max_local()
+        if new_max > ct.max_local_time:
+            ct.max_local_time = new_max
+            return True
+        return False
 
     def check_invariants(self) -> None:
         """Assert the paper's clock invariant for every active core."""
@@ -68,55 +101,73 @@ class SimulationManager:
     # ------------------------------------------------------------------ step
     def step(self) -> ManagerStepResult:
         result = ManagerStepResult()
+        gq = self.gq
+        # One fused pass over the cores: drain OutQs and gather the active
+        # set, its minimum local time and barrier status (this method runs
+        # once per manager turn — several genexpr scans showed up in the
+        # engine profile).
+        drained = 0
+        active = []
+        min_local = None
+        at_edge = True
         for ct in self.cores:
-            if len(ct.outq):
+            if ct.outq._q:
                 for event in ct.outq.drain():
-                    self.gq.push(event)
-                    result.drained += 1
+                    gq.push(event)
+                    drained += 1
+            if ct.state == CoreState.ACTIVE:
+                active.append(ct)
+                lt = ct.local_time
+                if min_local is None or lt < min_local:
+                    min_local = lt
+                if lt < ct.max_local_time:
+                    at_edge = False
+        result.drained = drained
 
-        active = self._active()
+        processed = 0
         policy = self.scheme.gq_policy
         if policy == "immediate":
             while True:
-                event = self.gq.pop_fifo()
+                event = gq.pop_fifo()
                 if event is None:
                     break
                 self._service(event)
-                result.processed += 1
+                processed += 1
         elif policy == "oldest":
-            bound = min((ct.local_time for ct in active), default=self.global_time)
+            bound = min_local if min_local is not None else self.global_time
+            if bound < self.global_time:
+                bound = self.global_time
             while True:
-                event = self.gq.pop_oldest(max(bound, self.global_time))
+                event = gq.pop_oldest(bound)
                 if event is None:
                     break
                 self._service(event)
-                result.processed += 1
+                processed += 1
         else:  # barrier (cycle-by-cycle / quantum-based / adaptive quantum)
-            if active and all(ct.local_time >= ct.max_local_time for ct in active):
+            if active and at_edge:
                 self.barriers_completed += 1
                 while True:
-                    event = self.gq.pop_oldest(INFINITY)
+                    event = gq.pop_oldest(INFINITY)
                     if event is None:
                         break
                     self._service(event)
-                    result.processed += 1
-                adapt = getattr(self.scheme, "adapt", None)
-                if adapt is not None:
+                    processed += 1
+                if self._adapt is not None:
                     boundary = min(ct.max_local_time for ct in active)
-                    adapt(result.processed, max(1, boundary - self.global_time))
+                    self._adapt(processed, max(1, boundary - self.global_time))
+        result.processed = processed
 
         # Advance global time (monotonic; excludes idle/done cores).
-        if active:
-            new_global = min(ct.local_time for ct in active)
-            if new_global > self.global_time:
-                self.global_time = new_global
+        if min_local is not None and min_local > self.global_time:
+            self.global_time = min_local
 
         # Raise windows per the scheme.
         new_max = self.current_max_local()
+        raised = result.raised
         for ct in active:
             if new_max > ct.max_local_time:
                 ct.max_local_time = new_max
-                result.raised.append(ct.core_id)
+                raised.append(ct.core_id)
         return result
 
     # --------------------------------------------------------------- service

@@ -43,6 +43,9 @@ class OutQ:
             except IndexError:
                 return items
 
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
     def __len__(self) -> int:
         return len(self._q)
 
@@ -94,26 +97,31 @@ class GlobalQueue:
         """Arrival-order pop (original bounded slack: 'no such constraint')."""
         while self._fifo:
             event = self._fifo.popleft()
-            if not getattr(event, "_consumed", False):
-                event._consumed = True  # type: ignore[attr-defined]
+            if not event.consumed:
+                event.consumed = True
                 return event
         return None
 
     def pop_oldest(self, max_ts: int) -> Event | None:
         """Timestamp-order pop, restricted to ``ts <= max_ts`` (conservative
         schemes: process the oldest request only once global time reaches it)."""
-        while self._heap and self._heap[0][0] <= max_ts:
-            event = heapq.heappop(self._heap)[2]
-            if not getattr(event, "_consumed", False):
-                event._consumed = True  # type: ignore[attr-defined]
+        heap = self._heap
+        while heap and heap[0][0] <= max_ts:
+            event = heapq.heappop(heap)[2]
+            if not event.consumed:
+                event.consumed = True
                 return event
         return None
 
     def oldest_ts(self) -> int | None:
         """Timestamp of the oldest unconsumed request (lookahead bound)."""
-        while self._heap and getattr(self._heap[0][2], "_consumed", False):
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].consumed:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def __bool__(self) -> bool:
+        return any(not e.consumed for e in self._fifo)
 
     def __len__(self) -> int:
-        return sum(1 for e in self._fifo if not getattr(e, "_consumed", False))
+        return sum(1 for e in self._fifo if not e.consumed)

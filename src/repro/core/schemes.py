@@ -56,6 +56,18 @@ class Scheme:
         """Upper bound on every core's local time given the current global."""
         raise NotImplementedError
 
+    def grant(self, global_time: int, local_time: int, oldest_ts: int | None = None) -> int:
+        """Safe batch size: how many cycles a core at *local_time* may run
+        before the next synchronization point under this scheme.
+
+        This is the window remainder ``max_local(global) - local`` — 1 for
+        cycle-by-cycle, the quantum remainder for qN, the slack-window
+        remainder for sN/sN*, the lookahead bound for lN (which needs the
+        oldest unprocessed GQ timestamp) and INFINITY for su.  A core exactly
+        at its window edge gets 0 (it must suspend).
+        """
+        return max(0, self.max_local(global_time) - local_time)
+
     def describe(self) -> str:
         return f"{self.name} (policy={self.gq_policy}, slack={self.slack if self.slack < INFINITY else 'inf'})"
 
@@ -152,6 +164,9 @@ class Lookahead(Scheme):
         base = global_time if oldest_pending_ts is None else min(global_time, oldest_pending_ts)
         return base + la
 
+    def grant(self, global_time: int, local_time: int, oldest_ts: int | None = None) -> int:
+        return max(0, self.max_local(global_time, oldest_ts) - local_time)
+
 
 class BoundedSlack(Scheme):
     """The paper's proposal (Figure 2c): sliding window [Tg, Tg+S] with no
@@ -186,6 +201,9 @@ class UnboundedSlack(Scheme):
         super().__init__(name="su", gq_policy="immediate", slack=INFINITY, conservative=False)
 
     def max_local(self, global_time: int) -> int:
+        return INFINITY
+
+    def grant(self, global_time: int, local_time: int, oldest_ts: int | None = None) -> int:
         return INFINITY
 
 

@@ -106,7 +106,14 @@ class ThreadedEngine(SequentialEngine):
                         if ct.local_time >= ct.max_local_time:
                             self._window_cond.wait(timeout=0.005)
                     continue
-                stats = ct.run(self.sim.batch_cycles)
+                # Turn budget: the window remainder, capped so the thread
+                # re-checks the stop flag regularly (su's window is infinite).
+                budget = ct.max_local_time - ct.local_time
+                if budget > 4096:
+                    budget = 4096
+                if self.sim.batch_cycles and self.sim.batch_cycles < budget:
+                    budget = self.sim.batch_cycles
+                stats = ct.run(budget)
                 if stats.wakes:
                     with self._emu_lock:
                         for core_id, release_ts in stats.wakes:

@@ -19,6 +19,7 @@ truncates toward zero with saturation.
 from __future__ import annotations
 
 import math
+import struct
 from typing import Callable
 
 from repro._util import to_signed64, to_unsigned64
@@ -126,6 +127,304 @@ def _rem(a: int, b: int) -> int:
     return to_signed64(-r if a < 0 else r)
 
 
+#: Shared fall-through outcome: callers only read ExecOutcome fields, so all
+#: non-branch instructions can return one preallocated instance.
+_FALLTHROUGH = ExecOutcome(NEXT)
+
+# Register-only semantics as an opcode-indexed dispatch table: handlers take
+# (state, insn, mem) and return an ExecOutcome (or None for fall-through).
+# ``execute`` indexes the table with int(op), replacing the former ~50-way
+# if/elif chain with one list lookup per instruction.
+_DISPATCH: list = [None] * 256
+
+
+def _op(opcode: Op):
+    def register(fn):
+        _DISPATCH[int(opcode)] = fn
+        return fn
+
+    return register
+
+
+def _branch(opcode: Op, cond):
+    def handler(state, insn, mem, _cond=cond):
+        if _cond(state.x[insn.rs1], state.x[insn.rs2]):
+            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+        return None
+
+    _DISPATCH[int(opcode)] = handler
+
+
+def _need_mem(mem: TargetMemory | None) -> TargetMemory:
+    if mem is None:
+        raise ValueError("memory instruction executed without a TargetMemory")
+    return mem
+
+
+@_op(Op.ADD)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] + state.x[insn.rs2])
+
+
+@_op(Op.SUB)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] - state.x[insn.rs2])
+
+
+@_op(Op.MUL)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] * state.x[insn.rs2])
+
+
+@_op(Op.DIV)
+def _(state, insn, mem):
+    state.set_x(insn.rd, _div(state.x[insn.rs1], state.x[insn.rs2]))
+
+
+@_op(Op.REM)
+def _(state, insn, mem):
+    state.set_x(insn.rd, _rem(state.x[insn.rs1], state.x[insn.rs2]))
+
+
+@_op(Op.AND)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] & state.x[insn.rs2])
+
+
+@_op(Op.OR)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] | state.x[insn.rs2])
+
+
+@_op(Op.XOR)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] ^ state.x[insn.rs2])
+
+
+@_op(Op.SLL)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] << (state.x[insn.rs2] & 63))
+
+
+@_op(Op.SRL)
+def _(state, insn, mem):
+    state.set_x(insn.rd, to_unsigned64(state.x[insn.rs1]) >> (state.x[insn.rs2] & 63))
+
+
+@_op(Op.SRA)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] >> (state.x[insn.rs2] & 63))
+
+
+@_op(Op.SLT)
+def _(state, insn, mem):
+    state.set_x(insn.rd, int(state.x[insn.rs1] < state.x[insn.rs2]))
+
+
+@_op(Op.SLTU)
+def _(state, insn, mem):
+    state.set_x(insn.rd, int(to_unsigned64(state.x[insn.rs1]) < to_unsigned64(state.x[insn.rs2])))
+
+
+@_op(Op.ADDI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] + insn.imm)
+
+
+@_op(Op.ANDI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] & insn.imm)
+
+
+@_op(Op.ORI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] | insn.imm)
+
+
+@_op(Op.XORI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] ^ insn.imm)
+
+
+@_op(Op.SLLI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] << (insn.imm & 63))
+
+
+@_op(Op.SRLI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, to_unsigned64(state.x[insn.rs1]) >> (insn.imm & 63))
+
+
+@_op(Op.SRAI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.x[insn.rs1] >> (insn.imm & 63))
+
+
+@_op(Op.SLTI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, int(state.x[insn.rs1] < insn.imm))
+
+
+@_op(Op.LUI)
+def _(state, insn, mem):
+    state.set_x(insn.rd, insn.imm << 32)
+
+
+@_op(Op.LD)
+@_op(Op.FLD)
+def _(state, insn, mem):
+    do_load(state, insn, _need_mem(mem), effective_address(state, insn))
+
+
+@_op(Op.SD)
+@_op(Op.FSD)
+def _(state, insn, mem):
+    do_store(state, insn, _need_mem(mem), effective_address(state, insn))
+
+
+@_op(Op.AMOSWAP)
+@_op(Op.AMOADD)
+def _(state, insn, mem):
+    do_amo(state, insn, _need_mem(mem), effective_address(state, insn))
+
+
+_branch(Op.BEQ, lambda a, b: a == b)
+_branch(Op.BNE, lambda a, b: a != b)
+_branch(Op.BLT, lambda a, b: a < b)
+_branch(Op.BGE, lambda a, b: a >= b)
+_branch(Op.BLTU, lambda a, b: to_unsigned64(a) < to_unsigned64(b))
+_branch(Op.BGEU, lambda a, b: to_unsigned64(a) >= to_unsigned64(b))
+
+
+@_op(Op.JAL)
+def _(state, insn, mem):
+    state.set_x(insn.rd, state.pc + INSTRUCTION_BYTES)
+    return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
+
+
+@_op(Op.JALR)
+def _(state, insn, mem):
+    target = to_signed64(state.x[insn.rs1] + insn.imm)
+    state.set_x(insn.rd, state.pc + INSTRUCTION_BYTES)
+    return ExecOutcome(target, taken=True)
+
+
+@_op(Op.FADD)
+def _(state, insn, mem):
+    state.f[insn.rd] = state.f[insn.rs1] + state.f[insn.rs2]
+
+
+@_op(Op.FSUB)
+def _(state, insn, mem):
+    state.f[insn.rd] = state.f[insn.rs1] - state.f[insn.rs2]
+
+
+@_op(Op.FMUL)
+def _(state, insn, mem):
+    state.f[insn.rd] = state.f[insn.rs1] * state.f[insn.rs2]
+
+
+@_op(Op.FDIV)
+def _(state, insn, mem):
+    a, b = state.f[insn.rs1], state.f[insn.rs2]
+    if b != 0.0:
+        state.f[insn.rd] = a / b
+    else:
+        state.f[insn.rd] = math.copysign(math.inf, a) if a != 0.0 else math.nan
+
+
+@_op(Op.FMIN)
+def _(state, insn, mem):
+    state.f[insn.rd] = min(state.f[insn.rs1], state.f[insn.rs2])
+
+
+@_op(Op.FMAX)
+def _(state, insn, mem):
+    state.f[insn.rd] = max(state.f[insn.rs1], state.f[insn.rs2])
+
+
+@_op(Op.FSQRT)
+def _(state, insn, mem):
+    state.f[insn.rd] = _fsqrt(state.f[insn.rs1])
+
+
+@_op(Op.FNEG)
+def _(state, insn, mem):
+    state.f[insn.rd] = -state.f[insn.rs1]
+
+
+@_op(Op.FABS)
+def _(state, insn, mem):
+    state.f[insn.rd] = abs(state.f[insn.rs1])
+
+
+@_op(Op.FMV)
+def _(state, insn, mem):
+    state.f[insn.rd] = state.f[insn.rs1]
+
+
+@_op(Op.FSIN)
+def _(state, insn, mem):
+    state.f[insn.rd] = math.sin(state.f[insn.rs1])
+
+
+@_op(Op.FCOS)
+def _(state, insn, mem):
+    state.f[insn.rd] = math.cos(state.f[insn.rs1])
+
+
+@_op(Op.FEQ)
+def _(state, insn, mem):
+    state.set_x(insn.rd, int(state.f[insn.rs1] == state.f[insn.rs2]))
+
+
+@_op(Op.FLT)
+def _(state, insn, mem):
+    state.set_x(insn.rd, int(state.f[insn.rs1] < state.f[insn.rs2]))
+
+
+@_op(Op.FLE)
+def _(state, insn, mem):
+    state.set_x(insn.rd, int(state.f[insn.rs1] <= state.f[insn.rs2]))
+
+
+@_op(Op.FCVT_D_L)
+def _(state, insn, mem):
+    state.f[insn.rd] = float(state.x[insn.rs1])
+
+
+@_op(Op.FCVT_L_D)
+def _(state, insn, mem):
+    state.set_x(insn.rd, _fcvt_l_d(state.f[insn.rs1]))
+
+
+@_op(Op.FMV_D_X)
+def _(state, insn, mem):
+    state.f[insn.rd] = struct.unpack("<d", struct.pack("<q", state.x[insn.rs1]))[0]
+
+
+@_op(Op.FMV_X_D)
+def _(state, insn, mem):
+    state.set_x(insn.rd, struct.unpack("<q", struct.pack("<d", state.f[insn.rs1]))[0])
+
+
+@_op(Op.ECALL)
+def _(state, insn, mem):
+    return ExecOutcome(state.pc, is_syscall=True)
+
+
+@_op(Op.HALT)
+def _(state, insn, mem):
+    state.halted = True
+    return ExecOutcome(state.pc, is_halt=True)
+
+
+@_op(Op.NOPOP)
+def _(state, insn, mem):
+    return None
+
+
 def execute(
     state: ArchState,
     insn: Instruction,
@@ -142,140 +441,8 @@ def execute(
     Syscalls (``ecall``) do not advance the PC themselves — the system layer
     decides (it may re-execute, e.g. for a blocking lock).
     """
-    op = insn.op
-    x = state.x
-    f = state.f
-
-    if op is Op.ADD:
-        state.set_x(insn.rd, x[insn.rs1] + x[insn.rs2])
-    elif op is Op.SUB:
-        state.set_x(insn.rd, x[insn.rs1] - x[insn.rs2])
-    elif op is Op.MUL:
-        state.set_x(insn.rd, x[insn.rs1] * x[insn.rs2])
-    elif op is Op.DIV:
-        state.set_x(insn.rd, _div(x[insn.rs1], x[insn.rs2]))
-    elif op is Op.REM:
-        state.set_x(insn.rd, _rem(x[insn.rs1], x[insn.rs2]))
-    elif op is Op.AND:
-        state.set_x(insn.rd, x[insn.rs1] & x[insn.rs2])
-    elif op is Op.OR:
-        state.set_x(insn.rd, x[insn.rs1] | x[insn.rs2])
-    elif op is Op.XOR:
-        state.set_x(insn.rd, x[insn.rs1] ^ x[insn.rs2])
-    elif op is Op.SLL:
-        state.set_x(insn.rd, x[insn.rs1] << (x[insn.rs2] & 63))
-    elif op is Op.SRL:
-        state.set_x(insn.rd, to_unsigned64(x[insn.rs1]) >> (x[insn.rs2] & 63))
-    elif op is Op.SRA:
-        state.set_x(insn.rd, x[insn.rs1] >> (x[insn.rs2] & 63))
-    elif op is Op.SLT:
-        state.set_x(insn.rd, int(x[insn.rs1] < x[insn.rs2]))
-    elif op is Op.SLTU:
-        state.set_x(insn.rd, int(to_unsigned64(x[insn.rs1]) < to_unsigned64(x[insn.rs2])))
-    elif op is Op.ADDI:
-        state.set_x(insn.rd, x[insn.rs1] + insn.imm)
-    elif op is Op.ANDI:
-        state.set_x(insn.rd, x[insn.rs1] & insn.imm)
-    elif op is Op.ORI:
-        state.set_x(insn.rd, x[insn.rs1] | insn.imm)
-    elif op is Op.XORI:
-        state.set_x(insn.rd, x[insn.rs1] ^ insn.imm)
-    elif op is Op.SLLI:
-        state.set_x(insn.rd, x[insn.rs1] << (insn.imm & 63))
-    elif op is Op.SRLI:
-        state.set_x(insn.rd, to_unsigned64(x[insn.rs1]) >> (insn.imm & 63))
-    elif op is Op.SRAI:
-        state.set_x(insn.rd, x[insn.rs1] >> (insn.imm & 63))
-    elif op is Op.SLTI:
-        state.set_x(insn.rd, int(x[insn.rs1] < insn.imm))
-    elif op is Op.LUI:
-        state.set_x(insn.rd, insn.imm << 32)
-    elif op in (Op.LD, Op.FLD):
-        if mem is None:
-            raise ValueError("memory instruction executed without a TargetMemory")
-        do_load(state, insn, mem, effective_address(state, insn))
-    elif op in (Op.SD, Op.FSD):
-        if mem is None:
-            raise ValueError("memory instruction executed without a TargetMemory")
-        do_store(state, insn, mem, effective_address(state, insn))
-    elif op in (Op.AMOSWAP, Op.AMOADD):
-        if mem is None:
-            raise ValueError("memory instruction executed without a TargetMemory")
-        do_amo(state, insn, mem, effective_address(state, insn))
-    elif op is Op.BEQ:
-        if x[insn.rs1] == x[insn.rs2]:
-            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.BNE:
-        if x[insn.rs1] != x[insn.rs2]:
-            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.BLT:
-        if x[insn.rs1] < x[insn.rs2]:
-            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.BGE:
-        if x[insn.rs1] >= x[insn.rs2]:
-            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.BLTU:
-        if to_unsigned64(x[insn.rs1]) < to_unsigned64(x[insn.rs2]):
-            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.BGEU:
-        if to_unsigned64(x[insn.rs1]) >= to_unsigned64(x[insn.rs2]):
-            return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.JAL:
-        state.set_x(insn.rd, state.pc + INSTRUCTION_BYTES)
-        return ExecOutcome(to_signed64(state.pc + insn.imm), taken=True)
-    elif op is Op.JALR:
-        target = to_signed64(x[insn.rs1] + insn.imm)
-        state.set_x(insn.rd, state.pc + INSTRUCTION_BYTES)
-        return ExecOutcome(target, taken=True)
-    elif op is Op.FADD:
-        f[insn.rd] = f[insn.rs1] + f[insn.rs2]
-    elif op is Op.FSUB:
-        f[insn.rd] = f[insn.rs1] - f[insn.rs2]
-    elif op is Op.FMUL:
-        f[insn.rd] = f[insn.rs1] * f[insn.rs2]
-    elif op is Op.FDIV:
-        f[insn.rd] = f[insn.rs1] / f[insn.rs2] if f[insn.rs2] != 0.0 else math.copysign(math.inf, f[insn.rs1]) if f[insn.rs1] != 0.0 else math.nan
-    elif op is Op.FMIN:
-        f[insn.rd] = min(f[insn.rs1], f[insn.rs2])
-    elif op is Op.FMAX:
-        f[insn.rd] = max(f[insn.rs1], f[insn.rs2])
-    elif op is Op.FSQRT:
-        f[insn.rd] = _fsqrt(f[insn.rs1])
-    elif op is Op.FNEG:
-        f[insn.rd] = -f[insn.rs1]
-    elif op is Op.FABS:
-        f[insn.rd] = abs(f[insn.rs1])
-    elif op is Op.FMV:
-        f[insn.rd] = f[insn.rs1]
-    elif op is Op.FSIN:
-        f[insn.rd] = math.sin(f[insn.rs1])
-    elif op is Op.FCOS:
-        f[insn.rd] = math.cos(f[insn.rs1])
-    elif op is Op.FEQ:
-        state.set_x(insn.rd, int(f[insn.rs1] == f[insn.rs2]))
-    elif op is Op.FLT:
-        state.set_x(insn.rd, int(f[insn.rs1] < f[insn.rs2]))
-    elif op is Op.FLE:
-        state.set_x(insn.rd, int(f[insn.rs1] <= f[insn.rs2]))
-    elif op is Op.FCVT_D_L:
-        f[insn.rd] = float(x[insn.rs1])
-    elif op is Op.FCVT_L_D:
-        state.set_x(insn.rd, _fcvt_l_d(f[insn.rs1]))
-    elif op is Op.FMV_D_X:
-        import struct
-
-        f[insn.rd] = struct.unpack("<d", struct.pack("<q", x[insn.rs1]))[0]
-    elif op is Op.FMV_X_D:
-        import struct
-
-        state.set_x(insn.rd, struct.unpack("<q", struct.pack("<d", f[insn.rs1]))[0])
-    elif op is Op.ECALL:
-        return ExecOutcome(state.pc, is_syscall=True)
-    elif op is Op.HALT:
-        state.halted = True
-        return ExecOutcome(state.pc, is_halt=True)
-    elif op is Op.NOPOP:
-        pass
-    else:  # pragma: no cover - exhaustive over Op
-        raise AssertionError(f"unhandled opcode {op.name}")
-    return ExecOutcome(NEXT)
+    handler = _DISPATCH[insn.op]
+    if handler is None:  # pragma: no cover - exhaustive over Op
+        raise AssertionError(f"unhandled opcode {insn.op.name}")
+    outcome = handler(state, insn, mem)
+    return outcome if outcome is not None else _FALLTHROUGH

@@ -18,7 +18,7 @@ from typing import Callable
 
 from repro.cpu.arch import ArchState, TargetMemory
 from repro.cpu.funcsim import NEXT, do_amo, do_load, do_store, effective_address, execute
-from repro.cpu.interfaces import CorePhase
+from repro.cpu.interfaces import WAIT_EXTERNAL, CorePhase
 from repro.cpu.l1cache import MESI, AccessResult, L1Cache
 from repro.core.events import EvKind, Event
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
@@ -79,6 +79,11 @@ class InOrderCore:
         self._busy_until = -1
         self._pending: _PendingMem | None = None
         self._resp: Event | None = None
+        # Coherence messages that raced ahead of the in-flight grant (MESI
+        # IM->I / IM->S transients): applied right after the fill so the
+        # granted data is used once and the stolen line is not kept.
+        self._pending_inval = False
+        self._pending_down = False
         self._blocked = False
         self._release_ts: int | None = None
         self._ifetch_ok_pc = -1  # pc whose I-fetch already completed
@@ -107,11 +112,15 @@ class InOrderCore:
         self._resp = event
 
     def apply_invalidation(self, addr: int) -> None:
+        if self._pending is not None and self.l1d.block_addr(addr) == self._pending.block:
+            self._pending_inval = True
         self.l1d.invalidate(addr)
         if self.l1i is not None:
             self.l1i.invalidate(addr)
 
     def apply_downgrade(self, addr: int) -> None:
+        if self._pending is not None and self.l1d.block_addr(addr) == self._pending.block:
+            self._pending_down = True
         self.l1d.downgrade(addr)
 
     def release(self, release_ts: int) -> None:
@@ -135,6 +144,34 @@ class InOrderCore:
             return self._busy_until + 1
         return None
 
+    # ---------------------------------------------------- batched stepping
+    def wait_state(self, now: int) -> tuple[int, bool] | None:
+        """Classify the current cycle for the run-ahead fast path.
+
+        Pure wait stretches (frozen pipeline, spin wait, multi-cycle op) are
+        reported with their resume time so the CoreThread can jump them in
+        one call; ``None`` demands a real :meth:`step`.
+        """
+        if self._blocked:
+            release = self._release_ts
+            if release is None:
+                return WAIT_EXTERNAL, True  # spinning until an external wake
+            if release > now:
+                return release, True  # spinning until a known release
+            return None  # finish the blocking syscall this cycle
+        if self._pending is not None:
+            if self._resp is not None:
+                return None  # complete the memory access this cycle
+            return WAIT_EXTERNAL, False  # frozen pipeline, response pending
+        if now <= self._busy_until:
+            return self._busy_until + 1, False  # multi-cycle op in flight
+        return None
+
+    def skip(self, n: int) -> None:
+        """Account *n* wait cycles at once (≡ n wait ``step`` calls)."""
+        if self._blocked or self._pending is not None:
+            self.stall_cycles += n
+
     # ----------------------------------------------------------------- step
     def step(self, now: int) -> tuple[int, bool]:
         if self.phase in (CorePhase.IDLE, CorePhase.HALTED):
@@ -156,7 +193,7 @@ class InOrderCore:
             self.stall_cycles += 1
             return 0, False
         if now <= self._busy_until:
-            return 0, True  # executing a multi-cycle operation
+            return 0, False  # frozen while a multi-cycle op drains (cheap)
         return self._fetch_execute(now)
 
     # ----------------------------------------------------------- sub-phases
@@ -246,6 +283,11 @@ class InOrderCore:
         victim = cache.fill(pending.block, grant)
         if victim is not None:
             self.emit(Event(EvKind.PUTM, victim, self.core_id, now))
+        if self._pending_inval:
+            cache.invalidate(pending.block)
+        elif self._pending_down:
+            cache.downgrade(pending.block)
+        self._pending_inval = self._pending_down = False
         self.phase = CorePhase.ACTIVE
         if pending.is_ifetch:
             self._ifetch_ok_pc = pending.addr

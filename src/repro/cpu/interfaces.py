@@ -17,7 +17,13 @@ from typing import TYPE_CHECKING, Protocol
 if TYPE_CHECKING:  # avoid a circular import (core.* imports this module)
     from repro.core.events import Event
 
-__all__ = ["CorePhase", "CoreModel"]
+__all__ = ["CorePhase", "CoreModel", "WAIT_EXTERNAL"]
+
+#: Sentinel resume time returned by ``wait_state`` meaning "waiting on input
+#: that only the manager can deliver (memory response, syscall wake)" — the
+#: core cannot compute its own resume time, so the caller must bound the
+#: batched wait and yield the turn.
+WAIT_EXTERNAL = 1 << 62
 
 
 class CorePhase(enum.Enum):
@@ -59,3 +65,25 @@ class CoreModel(Protocol):
 
     def stall_hint(self, now: int) -> int | None:
         """If stalled until a known simulated time, return it (skip-ahead)."""
+
+    # -- optional batched-stepping extension (see DESIGN.md §5) ------------
+    #
+    # Models that additionally implement the two methods below opt into the
+    # engine's run-ahead fast path: while ``wait_state`` reports a wait, the
+    # CoreThread advances local time in one jump (``skip``) instead of one
+    # ``step`` call per cycle.  Implementations must guarantee that for a
+    # wait spanning ``n`` cycles, ``skip(n)`` leaves the model in exactly the
+    # state that ``n`` consecutive ``step`` calls would (same counters, same
+    # pipeline state, no events emitted), so batched and single stepping are
+    # behaviour-equivalent by construction.
+    #
+    # def wait_state(self, now: int) -> tuple[int, bool] | None:
+    #     """None   -> the model wants a real ``step(now)`` (it may commit,
+    #                  emit events, halt, or block this cycle);
+    #     (resume, active) -> every cycle in [now, resume) is a pure wait
+    #                  cycle accounted with the given active flag; ``resume``
+    #                  is the next cycle needing a real step, or
+    #                  WAIT_EXTERNAL when the wake must come from outside."""
+    #
+    # def skip(self, n: int) -> None:
+    #     """Account n wait cycles at once (e.g. bump stall counters)."""

@@ -17,7 +17,7 @@ as flat ``uint64`` arrays in target memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro._util import sign_extend
 from repro.isa.opcodes import OPINFO, Format, Op, OpInfo, Unit
@@ -48,11 +48,13 @@ class Instruction:
     rs1: int = 0
     rs2: int = 0
     imm: int = 0
+    #: Static metadata for this instruction's opcode, resolved once at
+    #: construction — the timing cores read it on every fetch, so the
+    #: per-access ``OPINFO[...]`` dict lookup is hoisted out of the hot path.
+    info: OpInfo = field(init=False, repr=False, compare=False)
 
-    @property
-    def info(self) -> OpInfo:
-        """Static metadata for this instruction's opcode."""
-        return OPINFO[self.op]
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "info", OPINFO[self.op])
 
     @property
     def unit(self) -> Unit:

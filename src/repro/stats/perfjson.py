@@ -1,0 +1,71 @@
+"""Machine-readable performance records (``BENCH_engine.json``).
+
+The perf-regression harness works in two halves:
+
+1. the infrastructure benchmarks (``benchmarks/bench_infrastructure.py``)
+   call :func:`record` after each timed run, accumulating one entry per
+   benchmark — wall seconds plus a throughput figure (cycles/sec for engine
+   benches, instructions/sec for the compiler) — and :func:`write` dumps the
+   batch to ``BENCH_engine.json`` at session end;
+2. ``benchmarks/check_regression.py`` compares that file against the pinned
+   baselines (``benchmarks/BASELINES.json``) and exits non-zero on a >20%
+   throughput regression — the CI bench-smoke gate.
+
+Entries are plain dicts so the file diffs cleanly and other tools (plots,
+dashboards) can consume it without importing the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+__all__ = ["PerfRecorder", "load"]
+
+
+class PerfRecorder:
+    """Accumulates benchmark entries and writes one JSON report."""
+
+    def __init__(self, scale: str) -> None:
+        self.scale = scale
+        self.entries: dict[str, dict[str, Any]] = {}
+
+    def record(
+        self,
+        name: str,
+        *,
+        seconds: float,
+        work: float | None = None,
+        work_unit: str = "",
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        """Record one benchmark: *seconds* is the representative wall time
+        (use the mean of the measured rounds), *work* the amount of work per
+        call (target cycles, instructions, ...), so ``work / seconds`` is the
+        throughput the regression gate tracks."""
+        entry: dict[str, Any] = {"seconds": seconds}
+        if work is not None:
+            entry["work"] = work
+            entry["work_unit"] = work_unit
+            entry["throughput"] = work / seconds if seconds > 0 else 0.0
+        if extra:
+            entry.update(extra)
+        self.entries[name] = entry
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "scale": self.scale,
+            "python": sys.version.split()[0],
+            "machine": platform.machine(),
+            "benchmarks": self.entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def load(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())

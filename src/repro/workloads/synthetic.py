@@ -20,7 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.events import EvKind, Event
-from repro.cpu.interfaces import CorePhase
+from repro.cpu.interfaces import WAIT_EXTERNAL, CorePhase
 from repro.cpu.l1cache import MESI, AccessResult, L1Cache, L1Config
 
 __all__ = ["TraceCore", "sharing_workload", "pingpong_workload", "uniform_think_workload"]
@@ -44,6 +44,12 @@ class TraceCore:
         self._pending_block: int | None = None
         self._pending_write = False
         self._resp: Event | None = None
+        # Coherence messages that raced ahead of an in-flight grant (the
+        # MESI IM->I / IM->S transients): remembered and applied right after
+        # the fill, so the granted data is used exactly once and the stolen
+        # line is not silently kept.
+        self._pending_inval = False
+        self._pending_down = False
 
     # --------------------------------------------------------- CoreModel API
     def activate(self, pc: int, arg: int, ts: int) -> None:
@@ -55,9 +61,15 @@ class TraceCore:
         self._resp = event
 
     def apply_invalidation(self, addr: int) -> None:
+        if self._pending_block is not None and self.l1.block_addr(addr) == self._pending_block:
+            self._pending_inval = True
+            return
         self.l1.invalidate(addr)
 
     def apply_downgrade(self, addr: int) -> None:
+        if self._pending_block is not None and self.l1.block_addr(addr) == self._pending_block:
+            self._pending_down = True
+            return
         self.l1.downgrade(addr)
 
     def release(self, release_ts: int) -> None:
@@ -67,6 +79,19 @@ class TraceCore:
         if self._pending_block is None and now <= self._busy_until:
             return self._busy_until + 1
         return None
+
+    def wait_state(self, now: int) -> tuple[int, bool] | None:
+        """Batched-stepping protocol (see :mod:`repro.cpu.interfaces`)."""
+        if self._pending_block is not None:
+            if self._resp is not None:
+                return None  # fill the line this cycle
+            return WAIT_EXTERNAL, False  # stalled on the manager's response
+        if now <= self._busy_until:
+            return self._busy_until + 1, False  # thinking
+        return None
+
+    def skip(self, n: int) -> None:
+        """n wait cycles change no scripted state (≡ n wait ``step`` calls)."""
 
     def step(self, now: int) -> tuple[int, bool]:
         if self.phase in (CorePhase.IDLE, CorePhase.HALTED):
@@ -79,13 +104,18 @@ class TraceCore:
             if victim is not None:
                 assert self.emit is not None
                 self.emit(Event(EvKind.PUTM, victim, self.core_id, now))
+            if self._pending_inval:
+                self.l1.invalidate(self._pending_block)
+            elif self._pending_down:
+                self.l1.downgrade(self._pending_block)
+            self._pending_inval = self._pending_down = False
             self._pending_block = None
             self._resp = None
             self.phase = CorePhase.ACTIVE
             self.committed += 1
             return 1, True
         if now <= self._busy_until:
-            return 0, True
+            return 0, False  # thinking: cheap wait cycle (matches wait_state)
         if self._pc >= len(self.script):
             self.phase = CorePhase.HALTED
             return 0, True

@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the test tree."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="Regenerate the golden determinism digests instead of comparing "
+        "against them (tests/core/test_goldens.py).",
+    )

@@ -4,6 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import SequentialEngine, run_simulation
 from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.corethread import CoreState
 from repro.workloads.synthetic import sharing_workload
 
 SCHEMES = ["cc", "q10", "l10", "s9", "s9*", "s100", "su", "aq10-80"]
@@ -52,6 +53,69 @@ def test_random_workloads_terminate_with_invariants(
     if engine.scheme.conservative:
         assert result.violations.simulation_state == 0
         assert result.violations.system_state == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scheme=st.sampled_from(SCHEMES),
+    num_cores=st.integers(2, 5),
+    ops=st.integers(5, 20),
+    wl_seed=st.integers(0, 40),
+)
+def test_clock_invariant_global_local_max_local(scheme, num_cores, ops, wl_seed):
+    """The paper's pacing invariant, checked at every manager step:
+    ``global <= local <= max_local`` for every active core."""
+    engine = SequentialEngine(
+        None,
+        target=TargetConfig(num_cores=num_cores, core_model="trace"),
+        host=HostConfig(num_cores=num_cores),
+        sim=SimConfig(scheme=scheme, seed=5),
+        trace_cores=sharing_workload(num_cores, ops, seed=wl_seed),
+    )
+
+    def probe(host_t, global_t, locals_):
+        engine.manager.check_invariants()
+        for ct in engine.cores:
+            if ct.state == CoreState.ACTIVE:
+                assert global_t <= ct.local_time <= max(ct.max_local_time, ct.local_time)
+
+    engine.probe = probe
+    assert engine.run().completed
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scheme=st.sampled_from(SCHEMES),
+    num_cores=st.integers(2, 5),
+    ops=st.integers(5, 20),
+    shared=st.floats(0.0, 0.8),
+    wl_seed=st.integers(0, 40),
+    seed=st.integers(0, 10),
+)
+def test_step_many_equals_per_cycle_stepping(scheme, num_cores, ops, shared, wl_seed, seed):
+    """The batched fast path (``step_many`` jumping wait stretches via
+    ``skip``) must be observationally identical to stepping every cycle:
+    same clocks, same events, same bit-exact host times."""
+    def run(stepping):
+        return run_simulation(
+            None,
+            trace_cores=sharing_workload(num_cores, ops, shared_fraction=shared, seed=wl_seed),
+            host=HostConfig(num_cores=num_cores),
+            sim=SimConfig(scheme=scheme, seed=seed, stepping=stepping),
+            target=TargetConfig(num_cores=num_cores, core_model="trace"),
+        )
+
+    a, b = run("batched"), run("single")
+    assert a.execution_cycles == b.execution_cycles
+    assert a.global_time == b.global_time
+    assert a.instructions == b.instructions
+    assert a.host_time == b.host_time  # bit-exact, not approximate
+    assert a.host_busy == b.host_busy
+    assert a.requests == b.requests
+    assert a.barriers == b.barriers
+    assert [(c.committed, c.cycles, c.final_time) for c in a.cores] == [
+        (c.committed, c.cycles, c.final_time) for c in b.cores
+    ]
 
 
 @settings(max_examples=10, deadline=None)

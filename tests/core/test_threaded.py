@@ -107,3 +107,93 @@ def test_instruction_counts_are_consistent():
     prog = compile_source(COUNTER_SRC).program
     r = run_threaded(prog, "su")
     assert r.instructions == sum(c.committed for c in r.cores)
+
+
+# --------------------------------------------------------------------- stress
+#
+# Stress shapes chosen to hammer the two synchronization hot spots of the
+# threaded engine: the window-edge suspend/wake path (a storm of target
+# barriers forces every thread through it repeatedly) and the InQ/OutQ lock
+# traffic under a heavily contended target lock.  Each shape runs across many
+# seeds — seeds change the modeled cost jitter and hence thread interleaving —
+# and must produce the exact output of the deterministic sequential engine.
+# The engine-level timeout is a hard deadlock detector: a lost wake or
+# deadlocked window protocol fails the test instead of hanging the suite.
+
+BARRIER_STORM_SRC = """
+int bar; int acc; int lk;
+void worker(int tid) {
+    for (int i = 0; i < 8; i = i + 1) {
+        barrier(&bar);
+        lock(&lk);
+        acc = acc + tid + i;
+        unlock(&lk);
+        barrier(&bar);
+    }
+}
+int main() {
+    int tids[4];
+    init_lock(&lk);
+    init_barrier(&bar, 4);
+    for (int t = 1; t < 4; t = t + 1) tids[t] = spawn(worker, t);
+    worker(0);
+    for (int t = 1; t < 4; t = t + 1) join(tids[t]);
+    print_int(acc);
+    return 0;
+}
+"""
+
+LOCK_CONTENTION_SRC = """
+int lk; int counter;
+void worker(int tid) {
+    for (int i = 0; i < 25; i = i + 1) {
+        lock(&lk);
+        counter = counter + 1;
+        unlock(&lk);
+    }
+}
+int main() {
+    int tids[4];
+    init_lock(&lk);
+    for (int t = 1; t < 4; t = t + 1) tids[t] = spawn(worker, t);
+    worker(0);
+    for (int t = 1; t < 4; t = t + 1) join(tids[t]);
+    print_int(counter);
+    return 0;
+}
+"""
+
+#: barrier storm: sum over threads/iterations of (tid + i).
+BARRIER_STORM_EXPECT = sum(tid + i for tid in range(4) for i in range(8))
+LOCK_CONTENTION_EXPECT = 4 * 25
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_barrier_storm_across_seeds(seed):
+    prog = compile_source(BARRIER_STORM_SRC).program
+    r = run_threaded(prog, "q10", seed=seed)
+    assert r.completed
+    assert r.int_output() == [BARRIER_STORM_EXPECT]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_lock_contention_across_seeds(seed):
+    prog = compile_source(LOCK_CONTENTION_SRC).program
+    r = run_threaded(prog, "s9", seed=seed)
+    assert r.completed
+    assert r.int_output() == [LOCK_CONTENTION_EXPECT]
+
+
+@pytest.mark.parametrize("scheme", ["cc", "q10", "s9", "su"])
+def test_stress_output_matches_sequential(scheme):
+    from repro.core import run_simulation
+
+    prog = compile_source(BARRIER_STORM_SRC).program
+    seq = run_simulation(
+        prog,
+        target=TargetConfig(num_cores=4),
+        host=HostConfig(num_cores=4),
+        sim=SimConfig(scheme=scheme, seed=2),
+    )
+    thr = run_threaded(prog, scheme, seed=2)
+    assert seq.int_output() == thr.int_output() == [BARRIER_STORM_EXPECT]
