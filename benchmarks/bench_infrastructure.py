@@ -15,9 +15,11 @@ import pytest
 
 from repro.core import run_simulation
 from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.cpu.interp import run_functional
 from repro.lang import compile_source
 from repro.stats.perfjson import PerfRecorder
 from repro.workloads.fft import fft_source
+from repro.workloads.registry import make_workload
 from repro.workloads.synthetic import sharing_workload
 
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -43,7 +45,8 @@ def _engine_run(scheme):
 
 def test_compile_throughput(benchmark, perf):
     src = fft_source(64, 8)
-    result = benchmark(lambda: compile_source(src))
+    # cache=False: this measures the compile pipeline, not the on-disk cache.
+    result = benchmark(lambda: compile_source(src, cache=False))
     assert result.program.size_insns > 100
     perf.record(
         "compile_throughput",
@@ -72,4 +75,32 @@ def test_engine_cycle_rate_su(benchmark, perf):
         seconds=benchmark.stats.stats.mean,
         work=result.execution_cycles,
         work_unit="cycles",
+    )
+
+
+@pytest.mark.parametrize("name", ["fft", "lu"])
+def test_workload_kips(benchmark, perf, name):
+    """Functional KIPS on a real benchmark (single-threaded, predecoded)."""
+    program = make_workload(name, scale="tiny", nthreads=1).program
+    result = benchmark(lambda: run_functional(program))
+    assert result.exit_code == 0
+    perf.record(
+        f"workload_kips_{name}",
+        seconds=benchmark.stats.stats.mean,
+        work=result.instructions,
+        work_unit="insns",
+    )
+
+
+@pytest.mark.parametrize("dispatch", ["predecoded", "oracle"])
+def test_funcsim_dispatch(benchmark, perf, dispatch):
+    """Raw interpreter dispatch rate, predecoded closures vs decode oracle."""
+    program = make_workload("fft", scale="tiny", nthreads=1).program
+    result = benchmark(lambda: run_functional(program, dispatch=dispatch))
+    assert result.exit_code == 0
+    perf.record(
+        f"funcsim_dispatch_{dispatch}",
+        seconds=benchmark.stats.stats.mean,
+        work=result.instructions,
+        work_unit="insns",
     )

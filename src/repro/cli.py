@@ -5,7 +5,9 @@ Subcommands::
     slacksim run --workload fft --scheme s9 --host-cores 8
     slacksim compile program.sl [--run]
     slacksim figure2 | figure8 | table2 | table3
+    slacksim sweep figure8 --jobs 4 --out figure8.json
     slacksim sweep --workload fft
+    slacksim bench --workload fft --profile
     slacksim schemes
 """
 
@@ -87,12 +89,60 @@ def _cmd_experiment(name: str):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.ablations import render_sweep, run_slack_sweep
-    from repro.experiments.common import Runner
+    if args.experiment is None:
+        # Legacy form: render the single-workload slack sweep (ablation A1).
+        from repro.experiments.ablations import render_sweep, run_slack_sweep
+        from repro.experiments.common import Runner
 
-    runner = Runner(scale=args.scale or "tiny", seed=args.seed)
-    points = run_slack_sweep(args.workload, runner=runner)
-    print(render_sweep(f"slack sweep ({args.workload})", points))
+        runner = Runner(scale=args.scale or "tiny", seed=args.seed)
+        points = run_slack_sweep(args.workload, runner=runner)
+        print(render_sweep(f"slack sweep ({args.workload})", points))
+        return 0
+
+    from repro.experiments.parallel import run_sweep, sweep_to_json
+
+    payload = run_sweep(
+        args.experiment, jobs=args.jobs, scale=args.scale, base_seed=args.seed
+    )
+    text = sweep_to_json(payload)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"{args.experiment}: {len(payload['points'])} points -> {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.cpu.interp import run_functional
+    from repro.workloads import make_workload
+
+    program = make_workload(args.workload, scale=args.scale, nthreads=1).program
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_functional(program, dispatch=args.dispatch)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    else:
+        import time
+
+        t0 = time.perf_counter()
+        result = run_functional(program, dispatch=args.dispatch)
+        elapsed = time.perf_counter() - t0
+        print(
+            f"{args.workload} ({args.scale}, {args.dispatch}): "
+            f"{result.instructions} instructions in {elapsed:.3f}s "
+            f"= {result.instructions / elapsed / 1000.0:.1f} KIPS"
+        )
+    if result.exit_code not in (0, None):
+        print(f"warning: workload exited with code {result.exit_code}")
+        return 1
     return 0
 
 
@@ -138,11 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
         exp.add_argument("--scale", help="tiny | small | paper")
         exp.set_defaults(func=_cmd_experiment(name))
 
-    sweep = sub.add_parser("sweep", help="slack design-space sweep (ablation A1)")
+    sweep = sub.add_parser(
+        "sweep", help="experiment sweep (figure8 | table3 | ablations), or the "
+        "legacy single-workload slack sweep when no experiment is named"
+    )
+    sweep.add_argument(
+        "experiment", nargs="?", default=None,
+        help="figure8 | table3 | ablations (omit for the legacy slack sweep)",
+    )
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the point grid (default 1: serial)")
+    sweep.add_argument("--out", help="write the sweep JSON here instead of stdout")
     sweep.add_argument("--workload", default="fft")
     sweep.add_argument("--scale")
     sweep.add_argument("--seed", type=int, default=1)
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser("bench", help="functional KIPS measurement of one workload")
+    bench.add_argument("--workload", default="fft")
+    bench.add_argument("--scale", default="tiny", help="tiny | small | paper")
+    bench.add_argument("--dispatch", default="predecoded", help="predecoded | oracle")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 20 by cumulative time")
+    bench.set_defaults(func=_cmd_bench)
 
     schemes = sub.add_parser("schemes", help="list supported slack schemes")
     schemes.set_defaults(func=_cmd_schemes)

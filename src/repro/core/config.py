@@ -101,6 +101,11 @@ class SimConfig:
     #: protocol; "single" runs the identical turn structure one model.step
     #: per cycle (the equivalence oracle for the golden tests).
     stepping: str = "batched"
+    #: Execution layer: "predecoded" runs per-PC specialized closures
+    #: (repro.cpu.predecode); "oracle" runs funcsim.execute dict dispatch.
+    #: Both produce bit-identical architectural trajectories (the
+    #: dispatch-differential tests pin this).
+    dispatch: str = "predecoded"
     #: Cycles a core burns waiting on external input (a manager response)
     #: before yielding its turn.  Bounds de-facto turn size under su.
     wait_chunk: int = 16

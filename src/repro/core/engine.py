@@ -129,6 +129,7 @@ class SequentialEngine:
             l1i=L1Cache(self.target.l1) if self.target.model_icache else None,
             word_tracker=self.tracker,
             fastforward=self.sim.fastforward,
+            dispatch=self.sim.dispatch,
         )
         if self.target.core_model == "inorder":
             from repro.cpu.inorder import InOrderCore

@@ -13,11 +13,26 @@ from repro.cpu.branch import (
     make_predictor,
 )
 from repro.cpu.funcsim import do_amo, do_load, do_store, effective_address, execute
-from repro.cpu.inorder import InOrderCore
 from repro.cpu.interfaces import CorePhase
 from repro.cpu.interp import FunctionalInterpreter, InterpResult, run_functional
 from repro.cpu.l1cache import MESI, AccessResult, L1Cache, L1Config
-from repro.cpu.ooo import OoOCore
+from repro.cpu.predecode import PredecodedProgram, predecode_program
+
+
+def __getattr__(name: str):
+    # The timing cores pull in repro.core (events) which pulls in the engine
+    # and the loader, and the loader imports back into this package.  Loading
+    # them lazily keeps `import repro.cpu` a leaf, so any package import
+    # order (workloads-first, sysapi-first, ...) resolves cleanly.
+    if name == "InOrderCore":
+        from repro.cpu.inorder import InOrderCore
+
+        return InOrderCore
+    if name == "OoOCore":
+        from repro.cpu.ooo import OoOCore
+
+        return OoOCore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ArchState",
@@ -42,4 +57,6 @@ __all__ = [
     "L1Cache",
     "L1Config",
     "OoOCore",
+    "PredecodedProgram",
+    "predecode_program",
 ]

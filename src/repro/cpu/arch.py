@@ -127,5 +127,20 @@ class ArchState:
         dup.halted = self.halted
         return dup
 
+    def digest(self) -> str:
+        """Stable fingerprint of the full architectural state.
+
+        Floats are rendered with ``float.hex`` so the digest is exact (no
+        repr rounding); used by the dispatch-differential tests to assert
+        bit-identical trajectories between execution layers.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(repr(self.x).encode())
+        h.update(repr([v.hex() for v in self.f]).encode())
+        h.update(f"pc={self.pc} halted={int(self.halted)}".encode())
+        return h.hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ArchState ctx={self.context_id} pc={self.pc:#x} halted={self.halted}>"

@@ -19,6 +19,7 @@ from typing import Callable
 from repro.cpu.arch import ArchState, TargetMemory
 from repro.cpu.funcsim import NEXT, do_amo, do_load, do_store, effective_address, execute
 from repro.cpu.interfaces import WAIT_EXTERNAL, CorePhase
+from repro.cpu.predecode import K_ECALL, K_HALT, K_JUMP, predecode_program
 from repro.cpu.l1cache import MESI, AccessResult, L1Cache
 from repro.core.events import EvKind, Event
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
@@ -58,6 +59,7 @@ class InOrderCore:
         l1i: L1Cache | None = None,
         word_tracker: WordOrderTracker | None = None,
         fastforward: bool = False,
+        dispatch: str = "predecoded",
     ) -> None:
         self.core_id = core_id
         self.program = program
@@ -76,6 +78,18 @@ class InOrderCore:
         self.pending_wakes: list[tuple[int, int]] = []
 
         self._text = program.text
+        # Predecoded closure tables (timing cores use the per-instruction
+        # closures only — superblocks would hide per-cycle timing).
+        if dispatch == "predecoded":
+            pre = predecode_program(program)
+            self._kinds: list | None = pre.kinds
+            self._runs = pre.runs
+            self._eas = pre.eas
+            self._latencies = pre.latencies
+        elif dispatch == "oracle":
+            self._kinds = None
+        else:
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self._busy_until = -1
         self._pending: _PendingMem | None = None
         self._resp: Event | None = None
@@ -228,6 +242,28 @@ class InOrderCore:
                 return 0, True
             self._ifetch_ok_pc = pc
 
+        kinds = self._kinds
+        if kinds is not None:
+            index = (pc - TEXT_BASE) >> 3
+            if not 0 <= index < len(kinds) or pc & 7:
+                self._fetch(pc)  # raises the canonical out-of-text error
+            kind = kinds[index]
+            if kind <= K_JUMP:  # register-only: simple / branch / jump
+                target = self._runs[index](state.x, state.f)
+                state.pc = pc + INSTRUCTION_BYTES if target is None else target
+                self._busy_until = now + self._latencies[index] - 1
+                self._ifetch_ok_pc = -1
+                self.committed += 1
+                return 1, True
+            if kind == K_ECALL:
+                return self._execute_syscall(now)
+            if kind == K_HALT:
+                state.halted = True
+                self.phase = CorePhase.HALTED
+                self.committed += 1
+                return 1, True
+            return self._execute_mem(self._text[index], now, self._eas[index](state.x))
+
         insn = self._fetch(pc)
         info = insn.info
         if info.is_load or info.is_store:
@@ -246,10 +282,11 @@ class InOrderCore:
         self.committed += 1
         return 1, True
 
-    def _execute_mem(self, insn: Instruction, now: int) -> tuple[int, bool]:
+    def _execute_mem(self, insn: Instruction, now: int, addr: int | None = None) -> tuple[int, bool]:
         assert self.state is not None
         info = insn.info
-        addr = effective_address(self.state, insn)
+        if addr is None:
+            addr = effective_address(self.state, insn)
         is_write = info.is_store  # AMOs count as writes for coherence
         result = self.l1d.access(addr, is_write)
         if result is AccessResult.HIT:

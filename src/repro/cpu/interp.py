@@ -3,8 +3,17 @@
 This is the toolchain's golden reference: compiler tests, assembler examples
 and workload oracles run here, independent of every timing model.  It
 supports the non-blocking subset of the syscall API (exit / prints / sbrk /
-clock / thread_id / num_threads).  Multi-threaded programs must run on the
-slack engine (:mod:`repro.core`), which provides the full Table 1 emulation.
+clock / thread_id / num_threads) plus trivially-satisfiable single-thread
+synchronization (locks, one-participant barriers, semaphores), so registered
+workloads run here at ``nthreads=1``.  Multi-threaded programs must run on
+the slack engine (:mod:`repro.core`), which provides the full Table 1
+emulation.
+
+Two execution layers are available via ``dispatch=``: ``"predecoded"``
+(default) runs the per-PC closure tables of :mod:`repro.cpu.predecode`
+including superblocks; ``"oracle"`` runs the original
+:func:`repro.cpu.funcsim.execute` loop.  Both produce bit-identical
+architectural trajectories (asserted by tests/core/test_dispatch_differential.py).
 """
 
 from __future__ import annotations
@@ -14,6 +23,14 @@ from dataclasses import dataclass, field
 from repro._util import align_up
 from repro.cpu.arch import REG_A0, REG_A7, REG_SP, REG_TP, ArchState, TargetMemory
 from repro.cpu.funcsim import NEXT, execute
+from repro.cpu.predecode import (
+    K_BRANCH,
+    K_ECALL,
+    K_HALT,
+    K_JUMP,
+    K_SIMPLE,
+    predecode_program,
+)
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
 from repro.isa.program import TEXT_BASE, Program
 from repro.sysapi.syscalls import Sys
@@ -60,7 +77,11 @@ class FunctionalInterpreter:
         *,
         memory_bytes: int = 16 * 1024 * 1024,
         stack_bytes: int = 1 << 20,
+        dispatch: str = "predecoded",
     ) -> None:
+        if dispatch not in ("predecoded", "oracle"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        self.dispatch = dispatch
         self.program = program
         self.mem = TargetMemory(memory_bytes)
         self.mem.write_words(TEXT_BASE, program.encoded_text())
@@ -77,6 +98,12 @@ class FunctionalInterpreter:
         self.exit_code: int | None = None
         self._text = program.text
         self._stack_limit = memory_bytes - stack_bytes
+        # Host-side single-thread synchronization state (keyed by target
+        # address).  With one thread every acquire must succeed immediately;
+        # anything that would block is a guaranteed deadlock and raises.
+        self._locks: dict[int, bool] = {}
+        self._barriers: dict[int, int] = {}
+        self._semas: dict[int, int] = {}
 
     def _fetch(self, pc: int) -> Instruction:
         index, rem = divmod(pc - TEXT_BASE, INSTRUCTION_BYTES)
@@ -116,6 +143,31 @@ class FunctionalInterpreter:
             state.set_x(REG_A0, 0)
         elif sys is Sys.NUM_THREADS:
             state.set_x(REG_A0, 1)
+        elif sys is Sys.LOCK_INIT:
+            self._locks[a0] = False
+        elif sys is Sys.LOCK_ACQ:
+            if self._locks.get(a0, False):
+                raise InterpError(f"re-acquiring held lock {a0:#x}: single-thread deadlock")
+            self._locks[a0] = True
+        elif sys is Sys.LOCK_REL:
+            self._locks[a0] = False
+        elif sys is Sys.BARRIER_INIT:
+            self._barriers[a0] = state.x[REG_A0 + 1]
+        elif sys is Sys.BARRIER_WAIT:
+            if self._barriers.get(a0, 1) != 1:
+                raise InterpError(
+                    f"barrier {a0:#x} has {self._barriers[a0]} participants: "
+                    "single-thread deadlock (use the slack engine)"
+                )
+        elif sys is Sys.SEMA_INIT:
+            self._semas[a0] = state.x[REG_A0 + 1]
+        elif sys is Sys.SEMA_WAIT:
+            value = self._semas.get(a0, 0)
+            if value <= 0:
+                raise InterpError(f"sema_wait on empty semaphore {a0:#x}: single-thread deadlock")
+            self._semas[a0] = value - 1
+        elif sys is Sys.SEMA_SIGNAL:
+            self._semas[a0] = self._semas.get(a0, 0) + 1
         else:
             raise InterpError(
                 f"syscall {sys.name} needs the slack engine (multi-threaded emulation)"
@@ -124,6 +176,8 @@ class FunctionalInterpreter:
 
     def run(self, max_instructions: int = 50_000_000) -> InterpResult:
         """Run until ``exit``/``halt`` or the instruction budget is exhausted."""
+        if self.dispatch == "predecoded":
+            return self._run_predecoded(max_instructions)
         state = self.state
         mem = self.mem
         while not state.halted:
@@ -145,6 +199,85 @@ class FunctionalInterpreter:
                 state.pc += INSTRUCTION_BYTES
             else:
                 state.pc = outcome.next_pc
+        return InterpResult(
+            exit_code=self.exit_code if self.exit_code is not None else 0,
+            instructions=self.instructions,
+            output=self.output,
+            memory=mem,
+            state=state,
+        )
+
+    def _run_predecoded(self, max_instructions: int) -> InterpResult:
+        """Closure-dispatch run loop: same trajectory as the oracle loop.
+
+        The PC and instruction count live in locals and are written back to
+        ``self.state`` / ``self.instructions`` only at syscalls, halts and
+        errors — exactly the moments the oracle path makes them observable.
+        Superblocks fire only when the whole run fits the remaining budget;
+        otherwise the per-instruction path reproduces the oracle's raise
+        point bit-for-bit.
+        """
+        pre = predecode_program(self.program)
+        kinds = pre.kinds
+        runs = pre.runs
+        eas = pre.eas
+        applies = pre.applies
+        block_runs = pre.block_runs
+        block_lens = pre.block_lens
+        limit = pre.size * INSTRUCTION_BYTES
+        state = self.state
+        mem = self.mem
+        x = state.x
+        f = state.f
+        count = self.instructions
+        pc = state.pc
+        while not state.halted:
+            offset = pc - TEXT_BASE
+            if offset & 7 or not 0 <= offset < limit:
+                state.pc = pc
+                self.instructions = count
+                raise InterpError(f"PC {pc:#x} outside text segment")
+            i = offset >> 3
+            block = block_runs[i]
+            if block is not None and count + block_lens[i] <= max_instructions:
+                target = block(x, f, mem)
+                count += block_lens[i]
+                pc = target if target is not None else pc + block_lens[i] * INSTRUCTION_BYTES
+                continue
+            if count >= max_instructions:
+                state.pc = pc
+                self.instructions = count
+                raise InterpError(f"exceeded {max_instructions} instructions (runaway program?)")
+            kind = kinds[i]
+            if kind == K_SIMPLE:
+                runs[i](x, f)
+                count += 1
+                pc += INSTRUCTION_BYTES
+            elif kind == K_BRANCH:
+                target = runs[i](x, f)
+                count += 1
+                pc = target if target is not None else pc + INSTRUCTION_BYTES
+            elif kind == K_JUMP:
+                pc = runs[i](x, f)
+                count += 1
+            elif kind == K_ECALL:
+                count += 1
+                state.pc = pc
+                self.instructions = count
+                next_pc = self._syscall()
+                pc = next_pc if next_pc is not None else pc + INSTRUCTION_BYTES
+            elif kind == K_HALT:
+                count += 1
+                state.halted = True
+                if self.exit_code is None:
+                    self.exit_code = 0
+                break
+            else:  # K_LOAD / K_STORE / K_AMO
+                applies[i](x, f, mem, eas[i](x))
+                count += 1
+                pc += INSTRUCTION_BYTES
+        state.pc = pc
+        self.instructions = count
         return InterpResult(
             exit_code=self.exit_code if self.exit_code is not None else 0,
             instructions=self.instructions,

@@ -34,6 +34,7 @@ from repro.cpu.arch import ArchState, TargetMemory
 from repro.cpu.branch import make_predictor
 from repro.cpu.funcsim import NEXT, do_amo, effective_address, execute
 from repro.cpu.interfaces import CorePhase
+from repro.cpu.predecode import predecode_program
 from repro.cpu.l1cache import MESI, AccessResult, L1Cache
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
 from repro.isa.opcodes import Op
@@ -95,6 +96,7 @@ class OoOCore:
         word_tracker: WordOrderTracker | None = None,
         fastforward: bool = False,
         l1i: L1Cache | None = None,
+        dispatch: str = "predecoded",
     ) -> None:
         self.core_id = core_id
         self.program = program
@@ -119,6 +121,17 @@ class OoOCore:
         self.pending_wakes: list[tuple[int, int]] = []
 
         self._text = program.text
+        # Predecoded closure tables: the architectural backbone executes via
+        # specialized closures; the dataflow timing overlay is unchanged.
+        if dispatch == "predecoded":
+            pre = predecode_program(program)
+            self._runs: list | None = pre.runs
+            self._eas: list | None = pre.eas
+        elif dispatch == "oracle":
+            self._runs = None
+            self._eas = None
+        else:
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self._rob: deque[_RobEntry] = deque()
         self._seq = 0
         self._last_writer: dict[tuple[str, int], _RobEntry] = {}
@@ -343,13 +356,19 @@ class OoOCore:
                     writer = self._last_writer.get((reg_kind, reg))
                     if writer is not None:
                         entry.deps.append(writer)
+            runs = self._runs
             if info.is_load or info.is_store:
-                entry.addr = effective_address(state, insn)
+                if runs is not None:
+                    entry.addr = self._eas[(state.pc - TEXT_BASE) >> 3](state.x)
+                else:
+                    entry.addr = effective_address(state, insn)
                 entry.block = self.l1d.block_addr(entry.addr)
                 entry.is_load = info.is_load
                 entry.is_store = info.is_store
 
-            # Architectural (functional) execution, in program order.
+            # Architectural (functional) execution, in program order.  The
+            # predecoded path synthesises the oracle's (is_halt, taken,
+            # target) triple from the closure's return value.
             if entry.is_load:
                 self._functional_load(insn, entry.addr, now)
             elif entry.is_store:
@@ -358,10 +377,25 @@ class OoOCore:
                     state.f[insn.rs2] if entry.store_is_float else state.x[insn.rs2]
                 )
                 self._store_buffer.append(entry)
-            outcome = None
+            executed = False
+            is_halt = taken = False
+            target: int | None = None
             if not entry.is_load and not entry.is_store:
-                outcome = execute(state, insn)
-                if outcome.is_halt:
+                executed = True
+                if runs is not None:
+                    run = runs[(state.pc - TEXT_BASE) >> 3]
+                    if run is None:  # halt (ecall/AMO serialised earlier)
+                        state.halted = True
+                        is_halt = True
+                    else:
+                        target = run(state.x, state.f)
+                        taken = target is not None
+                else:
+                    outcome = execute(state, insn)
+                    is_halt = outcome.is_halt
+                    taken = outcome.taken
+                    target = outcome.next_pc if outcome.next_pc is not NEXT else None
+                if is_halt:
                     self._halt_pending = True
                     entry.state = _DONE
                     entry.done_at = now
@@ -370,17 +404,14 @@ class OoOCore:
                     break
             if entry.is_load or entry.is_store:
                 state.pc += INSTRUCTION_BYTES
-            elif outcome is not None and info.is_branch:
-                taken = outcome.taken
+            elif executed and info.is_branch:
                 branch_pc = state.pc
                 if insn.op in (Op.JAL, Op.JALR):
                     predicted = True  # unconditional: always predicted taken
                 else:
                     predicted = self.predictor.predict(branch_pc, insn.imm)
                     self.predictor.update(branch_pc, taken, predicted)
-                state.pc = (
-                    outcome.next_pc if taken else state.pc + INSTRUCTION_BYTES
-                )
+                state.pc = target if taken else state.pc + INSTRUCTION_BYTES
                 if predicted != taken:
                     self.mispredicts += 1
                     self._fetch_stall_until = now + self.mispredict_penalty
@@ -392,10 +423,8 @@ class OoOCore:
                     if info.writes_int and insn.rd != 0:
                         self._last_writer[("x", insn.rd)] = entry
                     break
-            elif outcome is not None:
-                state.pc = (
-                    state.pc + INSTRUCTION_BYTES if outcome.next_pc is NEXT else outcome.next_pc
-                )
+            elif executed:
+                state.pc = state.pc + INSTRUCTION_BYTES if target is None else target
             # Register the destination for dependents.
             if info.writes_int and insn.rd != 0:
                 self._last_writer[("x", insn.rd)] = entry
@@ -451,7 +480,10 @@ class OoOCore:
         assert self.state is not None
         state = self.state
         if insn.info.is_amo:
-            addr = effective_address(state, insn)
+            if self._eas is not None:
+                addr = self._eas[(state.pc - TEXT_BASE) >> 3](state.x)
+            else:
+                addr = effective_address(state, insn)
             result = self.l1d.access(addr, True)
             if result is not AccessResult.HIT:
                 block = self.l1d.block_addr(addr)

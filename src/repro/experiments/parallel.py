@@ -1,0 +1,268 @@
+"""Process-parallel experiment sweeps with deterministic merging.
+
+The Figure 8 / Table 3 / ablation grids are embarrassingly parallel: every
+(workload, scheme, host-core-count) point is an independent simulation.
+This module shards those points over a :class:`ProcessPoolExecutor` and
+merges the per-point results into one JSON document that is **byte-identical
+whatever the job count** (``--jobs 1`` serial in-process vs ``--jobs N``):
+
+* the point list is built up front by the same code on both paths, with the
+  per-point seed *derived* (SHA-256) from the base seed and the point's
+  coordinates — never from worker identity or scheduling order;
+* each simulation is deterministic given (spec, seed), so a point's metric
+  dict is the same in any process;
+* merging orders points by their config key and the document is rendered
+  with ``sort_keys=True``, so encounter order cannot leak into the bytes.
+
+Workers warm the on-disk compile cache (:mod:`repro.lang.compiler`), so N
+workers compiling the same benchmark pay one compile between them (first
+writer wins; the rest hit the cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.engine import SequentialEngine
+from repro.experiments.common import BENCHMARKS, HOST_COUNTS, SCHEMES, default_scale
+
+__all__ = [
+    "PointSpec",
+    "SWEEP_EXPERIMENTS",
+    "build_points",
+    "derive_seed",
+    "point_key",
+    "run_point",
+    "run_sweep",
+    "sweep_to_json",
+]
+
+#: Slack bounds of the ablation (A1) sweep grid.
+ABLATION_SLACKS = (1, 4, 9, 25, 100, 400)
+
+SWEEP_EXPERIMENTS = ("figure8", "table3", "ablations")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One independent simulation point (picklable; sent to workers)."""
+
+    workload: str
+    scheme: str
+    host_cores: int
+    scale: str
+    seed: int
+    fastforward: bool = False
+    core_model: str = "inorder"
+
+
+def derive_seed(base_seed: int, workload: str, scheme: str, host_cores: int) -> int:
+    """Per-point seed, stable across runs and independent of worker identity."""
+    digest = hashlib.sha256(
+        f"{base_seed}:{workload}:{scheme}:{host_cores}".encode()
+    ).digest()
+    return 1 + int.from_bytes(digest[:4], "little") % (2**31 - 1)
+
+
+def point_key(spec: PointSpec) -> str:
+    """The merge/order key: one stable string per grid coordinate."""
+    key = f"{spec.workload}/{spec.scheme}/h{spec.host_cores}"
+    if spec.fastforward:
+        key += "/ff"
+    return key
+
+
+def _output_digest(output: list) -> str:
+    """Exact fingerprint of the workload output stream (floats via hex)."""
+    h = hashlib.sha256()
+    for v in output:
+        h.update(v.hex().encode() if isinstance(v, float) else repr(v).encode())
+        h.update(b";")
+    return h.hexdigest()
+
+
+def run_point(spec: PointSpec) -> dict:
+    """Simulate one point and return its JSON-safe metrics.
+
+    Module-level (picklable) so ProcessPoolExecutor can ship it to workers;
+    also the serial path, so jobs=1 and jobs=N run the identical code.
+    """
+    from repro.workloads.registry import make_workload
+
+    workload = make_workload(spec.workload, scale=spec.scale)
+    engine = SequentialEngine(
+        workload.program,
+        target=TargetConfig(core_model=spec.core_model),
+        host=HostConfig(num_cores=spec.host_cores),
+        sim=SimConfig(scheme=spec.scheme, seed=spec.seed, fastforward=spec.fastforward),
+    )
+    result = engine.run()
+    problems = workload.mismatches(result.output)
+    if problems:
+        raise AssertionError(
+            f"{spec.workload} mis-executed under {spec.scheme}: " + "; ".join(problems)
+        )
+    return {
+        "spec": asdict(spec),
+        "completed": result.completed,
+        "execution_cycles": result.execution_cycles,
+        "global_time": result.global_time,
+        "instructions": result.instructions,
+        "host_time": result.host_time,
+        "kips": result.kips,
+        "violations": result.violations.total,
+        "workload_violations": result.violations.workload_state,
+        "output_sha256": _output_digest(result.output),
+    }
+
+
+# ----------------------------------------------------------------- grids
+def _figure8_points(scale: str, base_seed: int) -> list[PointSpec]:
+    points = []
+    for bench in BENCHMARKS:
+        points.append(
+            PointSpec(bench, "cc", 1, scale, derive_seed(base_seed, bench, "cc", 1))
+        )
+        for scheme in SCHEMES:
+            for hosts in HOST_COUNTS:
+                points.append(
+                    PointSpec(
+                        bench, scheme, hosts, scale,
+                        derive_seed(base_seed, bench, scheme, hosts),
+                    )
+                )
+    return points
+
+
+def _table3_points(scale: str, base_seed: int) -> list[PointSpec]:
+    points = []
+    for bench in BENCHMARKS:
+        for scheme in ("cc", "s9", "s100", "su", "q10", "l10", "s9*"):
+            points.append(
+                PointSpec(
+                    bench, scheme, 8, scale, derive_seed(base_seed, bench, scheme, 8)
+                )
+            )
+    return points
+
+
+def _ablation_points(scale: str, base_seed: int, workload: str = "fft") -> list[PointSpec]:
+    schemes = ["cc"] + [f"s{n}" for n in ABLATION_SLACKS] + ["su"]
+    points = [
+        PointSpec(workload, "cc", 1, scale, derive_seed(base_seed, workload, "cc", 1))
+    ]
+    for scheme in schemes:
+        points.append(
+            PointSpec(
+                workload, scheme, 8, scale, derive_seed(base_seed, workload, scheme, 8)
+            )
+        )
+    return points
+
+
+def build_points(experiment: str, scale: str, base_seed: int, **kwargs) -> list[PointSpec]:
+    """The full point list for *experiment* (identical on every path)."""
+    if experiment == "figure8":
+        return _figure8_points(scale, base_seed)
+    if experiment == "table3":
+        return _table3_points(scale, base_seed)
+    if experiment == "ablations":
+        return _ablation_points(scale, base_seed, **kwargs)
+    raise ValueError(
+        f"unknown sweep experiment {experiment!r} (expected one of {SWEEP_EXPERIMENTS})"
+    )
+
+
+# ----------------------------------------------------------------- derived
+def _derive_metrics(experiment: str, merged: dict) -> dict:
+    """Cross-point metrics (speedups, errors) from the merged point dict."""
+    derived: dict = {}
+    if experiment == "figure8":
+        speedups: dict = {}
+        for key, point in merged.items():
+            spec = point["spec"]
+            if spec["scheme"] == "cc" and spec["host_cores"] == 1:
+                continue
+            base = merged[f"{spec['workload']}/cc/h1"]
+            speedups[key] = base["host_time"] / point["host_time"]
+        derived["speedup_over_cc1"] = speedups
+    elif experiment == "table3":
+        errors: dict = {}
+        for key, point in merged.items():
+            spec = point["spec"]
+            if spec["scheme"] == "cc":
+                continue
+            gold = merged[f"{spec['workload']}/cc/h{spec['host_cores']}"]
+            errors[key] = (
+                abs(point["execution_cycles"] - gold["execution_cycles"])
+                / gold["execution_cycles"]
+                if gold["execution_cycles"]
+                else 0.0
+            )
+        derived["error_vs_cc"] = errors
+    elif experiment == "ablations":
+        speedups = {}
+        errors = {}
+        for key, point in merged.items():
+            spec = point["spec"]
+            if spec["scheme"] == "cc":
+                continue
+            base = merged[f"{spec['workload']}/cc/h1"]
+            gold = merged[f"{spec['workload']}/cc/h8"]
+            speedups[key] = base["host_time"] / point["host_time"]
+            errors[key] = (
+                abs(point["execution_cycles"] - gold["execution_cycles"])
+                / gold["execution_cycles"]
+                if gold["execution_cycles"]
+                else 0.0
+            )
+        derived["speedup_over_cc1"] = speedups
+        derived["error_vs_cc"] = errors
+    return derived
+
+
+# --------------------------------------------------------------- top level
+def run_sweep(
+    experiment: str,
+    *,
+    jobs: int = 1,
+    scale: str | None = None,
+    base_seed: int = 1,
+    **kwargs,
+) -> dict:
+    """Run a full experiment sweep, sharded over *jobs* processes.
+
+    ``jobs <= 1`` runs every point serially in-process; either way the
+    returned document is identical (see the module docstring for why).
+    """
+    scale = scale or default_scale()
+    specs = build_points(experiment, scale, base_seed, **kwargs)
+    if jobs <= 1:
+        results = [run_point(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            # map() preserves input order; chunksize=1 so long points do not
+            # convoy short ones on the same worker.
+            results = list(executor.map(run_point, specs, chunksize=1))
+    merged = dict(
+        sorted(
+            ((point_key(spec), result) for spec, result in zip(specs, results)),
+            key=lambda item: item[0],
+        )
+    )
+    return {
+        "experiment": experiment,
+        "scale": scale,
+        "base_seed": base_seed,
+        "points": merged,
+        "derived": _derive_metrics(experiment, merged),
+    }
+
+
+def sweep_to_json(payload: dict) -> str:
+    """Canonical byte-stable rendering of a sweep document."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

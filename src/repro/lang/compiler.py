@@ -1,8 +1,29 @@
-"""Slang compiler driver: source -> AST -> typed AST -> assembly -> Program."""
+"""Slang compiler driver: source -> AST -> typed AST -> assembly -> Program.
+
+Compilation results are memoised on disk (DESIGN.md §6): repeated sweep
+points, test runs and parallel workers pay the parse/analyze/generate/
+assemble pipeline once per distinct source.  Cache entries are keyed by a
+SHA-256 over the source text, the program name, the Python version and a
+*toolchain fingerprint* (the bytes of every compiler/assembler module), so
+editing any stage of the toolchain invalidates every cached program.
+
+The cache directory defaults to ``.repro_cache/`` under the current
+directory and is overridden with the ``REPRO_CACHE_DIR`` environment
+variable; setting it to the empty string disables on-disk caching entirely.
+Corrupt or unreadable entries are ignored (the source is recompiled and the
+entry rewritten); writes are atomic (tempfile + rename), so concurrent
+sweep workers never observe a torn entry.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
@@ -11,7 +32,16 @@ from repro.lang.codegen import generate
 from repro.lang.parser import parse
 from repro.lang.sema import analyze
 
-__all__ = ["compile_source", "compile_to_asm", "CompiledProgram"]
+__all__ = [
+    "compile_source",
+    "compile_to_asm",
+    "CompiledProgram",
+    "cache_dir",
+    "toolchain_fingerprint",
+]
+
+#: Bump to invalidate every existing cache entry regardless of fingerprint.
+_CACHE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -23,14 +53,108 @@ class CompiledProgram:
     unit: Unit
 
 
+def cache_dir() -> Path | None:
+    """The on-disk compile-cache directory, or ``None`` when disabled.
+
+    ``REPRO_CACHE_DIR`` overrides the ``.repro_cache/`` default; the empty
+    string disables caching.
+    """
+    raw = os.environ.get("REPRO_CACHE_DIR")
+    if raw is None:
+        return Path(".repro_cache")
+    if raw == "":
+        return None
+    return Path(raw)
+
+
+_fingerprint: str | None = None
+
+#: Modules whose bytes define the toolchain: any edit must invalidate caches.
+_TOOLCHAIN_MODULES = (
+    "lang/parser.py",
+    "lang/sema.py",
+    "lang/codegen.py",
+    "lang/ast_nodes.py",
+    "lang/compiler.py",
+    "isa/assembler.py",
+    "isa/opcodes.py",
+    "isa/instruction.py",
+    "isa/program.py",
+)
+
+
+def toolchain_fingerprint() -> str:
+    """SHA-256 over the compiler/assembler sources (memoised per process)."""
+    global _fingerprint
+    if _fingerprint is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        h.update(str(_CACHE_FORMAT).encode())
+        for rel in _TOOLCHAIN_MODULES:
+            h.update(rel.encode())
+            h.update((root / rel).read_bytes())
+        _fingerprint = h.hexdigest()
+    return _fingerprint
+
+
+def _cache_key(source: str, name: str) -> str:
+    h = hashlib.sha256()
+    h.update(toolchain_fingerprint().encode())
+    h.update(f"py{sys.version_info.major}.{sys.version_info.minor}".encode())
+    h.update(name.encode())
+    h.update(b"\x00")
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+def _cache_load(path: Path) -> CompiledProgram | None:
+    try:
+        with open(path, "rb") as fh:
+            cached = pickle.load(fh)
+        if isinstance(cached, CompiledProgram):
+            return cached
+    except Exception:
+        pass  # corrupt / stale / unreadable: recompile below
+    return None
+
+
+def _cache_store(path: Path, compiled: CompiledProgram) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(compiled, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except Exception:
+        pass  # caching is best-effort: read-only dirs etc. never break compiles
+
+
 def compile_to_asm(source: str) -> str:
     """Compile Slang *source* and return the generated assembly text."""
     return generate(analyze(parse(source)))
 
 
-def compile_source(source: str, *, name: str = "<slang>") -> CompiledProgram:
-    """Compile Slang *source* into a loadable :class:`Program` image."""
+def compile_source(source: str, *, name: str = "<slang>", cache: bool = True) -> CompiledProgram:
+    """Compile Slang *source* into a loadable :class:`Program` image.
+
+    With ``cache=True`` (default) the result is memoised in
+    :func:`cache_dir`; pass ``cache=False`` to force a full compile (the
+    compile-throughput benchmark does).
+    """
+    directory = cache_dir() if cache else None
+    path = directory / f"{_cache_key(source, name)}.pkl" if directory is not None else None
+    if path is not None:
+        cached = _cache_load(path)
+        if cached is not None:
+            return cached
     unit = analyze(parse(source))
     asm = generate(unit)
     program = assemble(asm, name=name)
-    return CompiledProgram(program=program, asm=asm, unit=unit)
+    compiled = CompiledProgram(program=program, asm=asm, unit=unit)
+    if path is not None:
+        _cache_store(path, compiled)
+    return compiled

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro._util import align_up
 from repro.cpu.arch import TargetMemory
+from repro.cpu.predecode import predecode_program
 from repro.isa.program import DATA_BASE, TEXT_BASE, Program
 
 __all__ = ["LoadedImage", "load_program"]
@@ -51,6 +52,9 @@ def load_program(
         )
     stack_tops = [memory_bytes - i * stack_bytes - 64 for i in range(num_contexts)]
     thread_exit_pc = program.symbols.get("__thread_exit", program.entry)
+    # Warm the predecoded closure tables at load time (memoised on the
+    # Program, so all cores sharing this image reuse one table).
+    predecode_program(program)
     return LoadedImage(
         program=program,
         memory=mem,

@@ -1,0 +1,55 @@
+"""Differential tests: predecoded dispatch vs the decode oracle.
+
+The predecoded execution layer is a pure performance optimisation — it must
+be bit-identical to the oracle (``funcsim.execute``) path.  These tests run
+every registered workload through both dispatch modes and compare the full
+architectural digest, the output stream, and the instruction count.
+"""
+
+import pytest
+
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.engine import SequentialEngine
+from repro.cpu.interp import FunctionalInterpreter
+from repro.workloads.registry import WORKLOADS, make_workload
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_interpreter_differential(name):
+    """Functional interpreter: identical digest/output/count per workload."""
+    program = make_workload(name, scale="tiny", nthreads=1).program
+    results = {}
+    for dispatch in ("predecoded", "oracle"):
+        interp = FunctionalInterpreter(program, dispatch=dispatch)
+        result = interp.run()
+        results[dispatch] = (
+            interp.state.digest(),
+            result.output,
+            result.instructions,
+            result.exit_code,
+        )
+    assert results["predecoded"] == results["oracle"]
+
+
+@pytest.mark.parametrize("core_model", ["inorder", "ooo"])
+def test_engine_differential(core_model):
+    """Timing engine: both core models match the oracle cycle-for-cycle."""
+    workload = make_workload("fft", scale="tiny")
+    metrics = {}
+    for dispatch in ("predecoded", "oracle"):
+        engine = SequentialEngine(
+            workload.program,
+            target=TargetConfig(core_model=core_model),
+            host=HostConfig(num_cores=4),
+            sim=SimConfig(scheme="s9", seed=1, dispatch=dispatch),
+        )
+        result = engine.run()
+        assert not workload.mismatches(result.output)
+        metrics[dispatch] = (
+            result.execution_cycles,
+            result.global_time,
+            result.instructions,
+            result.output,
+            result.violations.total,
+        )
+    assert metrics["predecoded"] == metrics["oracle"]

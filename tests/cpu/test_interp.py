@@ -174,8 +174,48 @@ def test_runaway_program_detected():
 
 
 def test_blocking_syscall_rejected_functionally():
+    # Thread spawn/join genuinely needs the slack engine.
     with pytest.raises(InterpError, match="slack engine"):
-        run_src("main: li a7, 21\necall\nhalt\n")
+        run_src("main: li a7, 11\necall\nhalt\n")
+
+
+def test_single_thread_sync_supported():
+    # Locks acquired/released by the only thread succeed immediately.
+    result = run_src(
+        """
+        main:
+            li a0, 4096
+            li a7, 20       # LOCK_INIT
+            ecall
+            li a7, 21       # LOCK_ACQ
+            ecall
+            li a7, 22       # LOCK_REL
+            ecall
+            li a0, 7
+            li a7, 1
+            ecall
+            halt
+        """
+    )
+    assert result.int_output == [7]
+
+
+def test_single_thread_deadlock_detected():
+    # Re-acquiring a held lock with one thread can never succeed.
+    with pytest.raises(InterpError, match="deadlock"):
+        run_src(
+            """
+            main:
+                li a0, 4096
+                li a7, 20
+                ecall
+                li a7, 21
+                ecall
+                li a7, 21
+                ecall
+                halt
+            """
+        )
 
 
 def test_unknown_syscall_rejected():

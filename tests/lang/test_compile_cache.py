@@ -1,0 +1,82 @@
+"""On-disk compile-cache tests: cold/warm hits, corruption, invalidation."""
+
+import pytest
+
+import repro.lang.compiler as compiler
+from repro.lang.compiler import cache_dir, compile_source
+
+SRC = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 10; i = i + 1) acc = acc + i;
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+def _entries(cache):
+    return sorted(cache.glob("*.pkl")) if cache.exists() else []
+
+
+def test_cold_compile_populates_cache(cache):
+    compiled = compile_source(SRC, name="t")
+    assert compiled.program.size_insns > 0
+    assert len(_entries(cache)) == 1
+
+
+def test_warm_hit_skips_the_pipeline(cache, monkeypatch):
+    cold = compile_source(SRC, name="t")
+
+    def boom(*a, **k):
+        raise AssertionError("pipeline ran on a warm cache hit")
+
+    monkeypatch.setattr(compiler, "parse", boom)
+    warm = compile_source(SRC, name="t")
+    assert warm.asm == cold.asm
+    assert warm.program.encoded_text() == cold.program.encoded_text()
+
+
+def test_corrupt_entry_recompiles(cache):
+    compile_source(SRC, name="t")
+    (entry,) = _entries(cache)
+    entry.write_bytes(b"not a pickle")
+    compiled = compile_source(SRC, name="t")
+    assert compiled.program.size_insns > 0
+
+
+def test_cache_false_bypasses(cache):
+    compile_source(SRC, name="t", cache=False)
+    assert _entries(cache) == []
+
+
+def test_empty_env_disables_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert cache_dir() is None
+    compiled = compile_source(SRC, name="t")
+    assert compiled.program.size_insns > 0
+
+
+def test_default_cache_dir(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert str(cache_dir()) == ".repro_cache"
+
+
+def test_fingerprint_change_invalidates(cache, monkeypatch):
+    compile_source(SRC, name="t")
+    monkeypatch.setattr(compiler, "_fingerprint", "0" * 64)
+    compile_source(SRC, name="t")
+    # A different toolchain fingerprint keys a different entry.
+    assert len(_entries(cache)) == 2
+
+
+def test_distinct_sources_distinct_entries(cache):
+    compile_source(SRC, name="t")
+    compile_source(SRC.replace("10", "11"), name="t")
+    assert len(_entries(cache)) == 2
