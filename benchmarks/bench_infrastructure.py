@@ -59,11 +59,15 @@ def test_compile_throughput(benchmark, perf):
 def test_engine_cycle_rate_cc(benchmark, perf):
     result = benchmark(lambda: _engine_run("cc"))
     assert result.completed
+    # Work and the determinism fingerprint both come off the registry dump;
+    # check_regression.py compares stats_digest against the pinned baseline
+    # (machine-independent, unlike the throughputs).
     perf.record(
         "engine_cycle_rate_cc",
         seconds=benchmark.stats.stats.mean,
-        work=result.execution_cycles,
+        work=result.stats["target.execution_cycles"],
         work_unit="cycles",
+        extra={"stats_digest": result.stats_sha256},
     )
 
 
@@ -73,8 +77,9 @@ def test_engine_cycle_rate_su(benchmark, perf):
     perf.record(
         "engine_cycle_rate_su",
         seconds=benchmark.stats.stats.mean,
-        work=result.execution_cycles,
+        work=result.stats["target.execution_cycles"],
         work_unit="cycles",
+        extra={"stats_digest": result.stats_sha256},
     )
 
 

@@ -62,14 +62,20 @@ def main(argv: list[str]) -> int:
     cal = calibrate()
 
     if args.update:
+        pinned_benchmarks = {}
+        for name, entry in bench["benchmarks"].items():
+            if "throughput" not in entry:
+                continue
+            pin = {"throughput": entry["throughput"], "work_unit": entry.get("work_unit", "")}
+            # Stats digests are machine-independent determinism fingerprints:
+            # pin them alongside the throughput when a bench reports one.
+            if "stats_digest" in entry:
+                pin["stats_digest"] = entry["stats_digest"]
+            pinned_benchmarks[name] = pin
         payload = {
             "calibration_seconds": cal,
             "scale": bench.get("scale", "tiny"),
-            "benchmarks": {
-                name: {"throughput": entry["throughput"], "work_unit": entry.get("work_unit", "")}
-                for name, entry in bench["benchmarks"].items()
-                if "throughput" in entry
-            },
+            "benchmarks": pinned_benchmarks,
         }
         BASELINES_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"baselines re-pinned to {BASELINES_PATH} (calibration {cal*1e3:.2f}ms)")
@@ -106,6 +112,16 @@ def main(argv: list[str]) -> int:
               f"vs expected {expected:,.0f} ({ratio:.2f}x)")
         if ratio < 1.0 - THRESHOLD:
             failed = True
+        # Determinism gate: a pinned stats digest must match exactly (it is
+        # machine-independent — any difference means simulated behaviour
+        # changed, which a throughput threshold would never catch).
+        pinned_digest = pinned.get("stats_digest")
+        if pinned_digest is not None:
+            actual_digest = entry.get("stats_digest")
+            if actual_digest != pinned_digest:
+                print(f"  DIGEST   {name}: stats_digest {actual_digest} "
+                      f"!= pinned {pinned_digest}")
+                failed = True
     if failed:
         print(f"FAIL: throughput regressed more than {THRESHOLD:.0%} "
               "(or benchmarks missing)")

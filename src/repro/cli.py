@@ -3,11 +3,14 @@
 Subcommands::
 
     slacksim run --workload fft --scheme s9 --host-cores 8
+    slacksim run --workload fft --stats-out run.stats.json --stats-interval 5000
     slacksim compile program.sl [--run]
     slacksim figure2 | figure8 | table2 | table3
     slacksim sweep figure8 --jobs 4 --out figure8.json
     slacksim sweep --workload fft
     slacksim bench --workload fft --profile
+    slacksim stats show run.stats.json
+    slacksim stats diff a.stats.json b.stats.json
     slacksim schemes
 """
 
@@ -30,9 +33,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workload.program,
         target=TargetConfig(core_model=args.core_model),
         host=HostConfig(num_cores=args.host_cores),
-        sim=SimConfig(scheme=args.scheme, seed=args.seed, fastforward=args.fastforward),
+        sim=SimConfig(
+            scheme=args.scheme,
+            seed=args.seed,
+            fastforward=args.fastforward,
+            stats_interval=args.stats_interval,
+        ),
     )
     print(result.summary())
+    if args.stats_out:
+        text = result.dump_csv() if args.stats_format == "csv" else result.dump_json()
+        with open(args.stats_out, "w") as fh:
+            fh.write(text)
+        print(f"stats ({args.stats_format}) -> {args.stats_out}")
     problems = workload.mismatches(result.output)
     if problems:
         print("OUTPUT MISMATCH:")
@@ -146,6 +159,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.stats.registry import diff_dumps, load_dump, render_dump
+
+    if args.action == "show":
+        stats = load_dump(args.files[0])
+        print(render_dump(stats, title=f"stats: {args.files[0]}"))
+        return 0
+    # diff
+    if len(args.files) != 2:
+        print("stats diff needs exactly two dump files", file=sys.stderr)
+        return 2
+    a, b = (load_dump(f) for f in args.files)
+    lines = diff_dumps(a, b)
+    if not lines:
+        print(f"identical ({len(a)} stats)")
+        return 0
+    for line in lines:
+        print(line)
+    return 1
+
+
 def _cmd_schemes(args: argparse.Namespace) -> int:
     from repro.core.schemes import parse_scheme
 
@@ -170,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--fastforward", action="store_true")
     run.add_argument("--verbose", "-v", action="store_true")
+    run.add_argument("--stats-out", help="write the run's stats registry dump here")
+    run.add_argument("--stats-format", default="json", choices=("json", "csv"),
+                     help="dump format for --stats-out (default json)")
+    run.add_argument("--stats-interval", type=int, default=0,
+                     help="snapshot the registry every N target cycles (0: off)")
     run.set_defaults(func=_cmd_run)
 
     comp = sub.add_parser("compile", help="compile a Slang source file")
@@ -212,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run under cProfile and print the top 20 by cumulative time")
     bench.set_defaults(func=_cmd_bench)
 
+    stats = sub.add_parser("stats", help="render or diff stats registry dumps")
+    stats.add_argument("action", choices=("show", "diff"),
+                       help="show one dump as a table, or diff two dumps")
+    stats.add_argument("files", nargs="+", help="stats JSON dump file(s)")
+    stats.set_defaults(func=_cmd_stats)
+
     schemes = sub.add_parser("schemes", help="list supported slack schemes")
     schemes.set_defaults(func=_cmd_schemes)
     return parser
@@ -219,7 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. ``stats show | head``).
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -85,6 +85,12 @@ class CoreThread:
         self.total_cycles = 0
         self.final_time = 0
         self.ever_active = False
+        # Cumulative batch accounting (registry source).  Both stepping
+        # modes fill the same BatchStats fields turn for turn, so this is
+        # bit-identical across batched/single stepping by construction.
+        # Kept deliberately minimal: the fold runs once per engine turn,
+        # and the turn loop is the simulator's hot path.
+        self.window_edge_hits = 0
         # Per-thread scratch stats, reset at the start of every batch; the
         # engine consumes the fields before the next batch runs.
         self._stats = BatchStats()
@@ -244,6 +250,8 @@ class CoreThread:
         )
         self.total_committed += stats.committed
         self.total_cycles += stats.cycles
+        if stats.hit_window_edge:
+            self.window_edge_hits += 1
         return stats
 
     def _run_percycle(self, budget: int) -> BatchStats:
@@ -299,4 +307,6 @@ class CoreThread:
         )
         self.total_committed += stats.committed
         self.total_cycles += stats.cycles
+        if stats.hit_window_edge:
+            self.window_edge_hits += 1
         return stats

@@ -38,6 +38,7 @@ from repro.host.costmodel import CostModel
 from repro.host.hostmodel import HostModel
 from repro.isa.program import Program
 from repro.mem.memsys import MemorySystem
+from repro.stats.registry import Distribution, StatsRegistry
 from repro.sysapi.loader import load_program
 from repro.sysapi.system import SystemEmulation
 from repro.violations.detect import ViolationCounters, WordOrderTracker
@@ -85,6 +86,16 @@ class SequentialEngine:
         self._active_cores = 0
         self.total_committed = 0
         self.engine_steps = 0
+        # Host-loop mechanics counters (digest=False in the registry: they
+        # describe how the engine scheduled the work, not the simulated
+        # target, mirroring the goldens' exclusion of engine_steps).
+        self.manager_steps = 0
+        self.manager_polls = 0
+        self.suspends = 0
+        self.wakes_delivered = 0
+        self.parks = 0
+        self._completed = False
+        self._next_snapshot = self.sim.stats_interval or 0
         #: Optional probe(host_time, global_time, locals) called after every
         #: manager step — used by the Figure 2 scheme-anatomy experiment.
         self.probe = None
@@ -113,6 +124,14 @@ class SequentialEngine:
                 ct.model = model
                 self.cores.append(ct)
         self.manager = SimulationManager(self.cores, self.memsys, self.scheme)
+        # The slack histogram is the registry's one direct-write stat, fed
+        # from the run loop; the registry itself is built lazily (first
+        # access) so engine construction stays off the simulate fast path.
+        self._registry: StatsRegistry | None = None
+        self._slack_dist = Distribution(
+            "scheme.slack_cycles",
+            desc="local_time - global_time sampled after every core turn",
+        )
 
         if trace_cores is not None:
             for ct in self.cores:
@@ -151,6 +170,178 @@ class SequentialEngine:
                 **common,
             )
         raise EngineError(f"unknown core model {self.target.core_model!r}")
+
+    # -------------------------------------------------------------- registry
+    @property
+    def registry(self) -> StatsRegistry:
+        """The run's hierarchical stats registry, built on first access.
+
+        Lazy so the ~150 stat registrations (and their dump-time lambdas)
+        are never paid by callers that only need the simulation outcome —
+        the perf benches construct thousands of engines per session.
+        """
+        if self._registry is None:
+            self._registry = self._build_registry()
+        return self._registry
+
+    def _execution_cycles(self) -> int:
+        """Target execution time (last thread exit, or global time if cut)."""
+        ran = [ct for ct in self.cores if ct.ever_active]
+        if self._completed and ran:
+            return max(ct.final_time for ct in ran)
+        return self.manager.global_time
+
+    def _build_registry(self) -> StatsRegistry:
+        """Wire every instrumented layer into one hierarchical registry.
+
+        All stats except ``scheme.slack_cycles`` are lazy *sources* over the
+        components' plain counters, so registration costs nothing on the
+        simulate path; values resolve at dump time.  Host-loop mechanics
+        (engine scheduling, modeled host makespan) register with
+        ``digest=False``: they are not simulated-target behaviour and the
+        threaded engine replaces host time with wall clock.
+        """
+        reg = StatsRegistry()
+
+        sim = reg.group("sim")
+        sim.scalar("scheme", source=lambda: self.scheme.name)
+        sim.scalar("seed", source=lambda: self.sim.seed)
+        sim.scalar("target_cores", source=lambda: self.target.num_cores)
+        sim.scalar("host_cores", source=lambda: self.host_cfg.num_cores)
+        sim.scalar("completed", source=lambda: int(self._completed))
+
+        engine = reg.group("engine")
+        for name in (
+            "engine_steps", "manager_steps", "manager_polls",
+            "suspends", "wakes_delivered", "parks", "total_committed",
+        ):
+            engine.scalar(
+                name if name != "engine_steps" else "steps",
+                source=(lambda n=name: getattr(self, n)),
+                digest=False,
+            )
+        # One slack sample lands per core turn, so the histogram count IS
+        # the turn count — no separate hot-loop counter needed.
+        engine.scalar(
+            "core_turns", source=lambda: self._slack_dist.count, digest=False
+        )
+
+        host = reg.group("host")
+        host.scalar("makespan", source=self.hostmodel.makespan, digest=False)
+        host.scalar("busy", source=lambda: self.hostmodel.busy, digest=False)
+        host.scalar("steps", source=lambda: self.hostmodel.steps, digest=False)
+        host.formula(
+            "utilization",
+            lambda: self.hostmodel.busy
+            / (self.hostmodel.makespan() * self.host_cfg.num_cores),
+        )
+
+        scheme = reg.group("scheme")
+        scheme.scalar("slack", source=lambda: self.scheme.slack)
+        scheme.scalar("gq_policy", source=lambda: self.scheme.gq_policy)
+        scheme.scalar(
+            "window_stalls",
+            source=lambda: sum(ct.window_edge_hits for ct in self.cores),
+        )
+        reg._register(self._slack_dist)  # created eagerly, fed by the run loop
+
+        manager = reg.group("manager")
+        manager.scalar("requests", source=lambda: self.manager.requests_processed)
+        manager.scalar("barriers", source=lambda: self.manager.barriers_completed)
+        manager.scalar("windows_raised", source=lambda: self.manager.windows_raised)
+        manager.scalar("events_drained", source=lambda: self.manager.events_drained)
+        manager.scalar("gq.max_depth", source=lambda: self.manager.gq_max_depth)
+
+        target = reg.group("target")
+        target.scalar("execution_cycles", source=self._execution_cycles)
+        target.scalar("global_time", source=lambda: self.manager.global_time)
+        target.scalar("instructions", source=lambda: self.total_committed)
+
+        for ct in self.cores:
+            core = reg.group(f"core{ct.core_id}")
+            for name, attr in (
+                ("committed", "total_committed"),
+                ("cycles", "total_cycles"),
+                ("window_edge_hits", "window_edge_hits"),
+                ("final_time", "final_time"),
+            ):
+                core.scalar(name, source=(lambda c=ct, a=attr: getattr(c, a)))
+            core.formula(
+                "ipc", lambda c=ct: c.total_committed / c.total_cycles
+            )
+            model = ct.model
+            if hasattr(model, "stall_cycles"):
+                core.scalar(
+                    "stall_cycles", source=(lambda m=model: m.stall_cycles)
+                )
+            for cache_name in ("l1d", "l1i"):
+                cache = getattr(model, cache_name, None)
+                if cache is None:
+                    continue
+                grp = core.group(cache_name)
+                for field in (
+                    "accesses", "hits", "misses", "upgrades",
+                    "invalidations_received", "downgrades_received",
+                    "writebacks",
+                ):
+                    grp.scalar(
+                        field, source=(lambda s=cache.stats, f=field: getattr(s, f))
+                    )
+                grp.formula("miss_rate", lambda s=cache.stats: s.misses / s.accesses)
+            predictor = getattr(model, "predictor", None)
+            if predictor is not None and hasattr(predictor, "stats"):
+                grp = core.group("branch")
+                grp.scalar("lookups", source=lambda s=predictor.stats: s.lookups)
+                grp.scalar("correct", source=lambda s=predictor.stats: s.correct)
+                grp.formula("accuracy", lambda s=predictor.stats: s.correct / s.lookups)
+
+        mem = reg.group("mem")
+        mem.scalar("requests_serviced", source=lambda: self.memsys.requests_serviced)
+        bus = mem.group("bus")
+        for field in ("transfers", "busy_cycles", "contention_cycles"):
+            bus.scalar(field, source=(lambda f=field: getattr(self.memsys.bus.stats, f)))
+        l2 = mem.group("l2")
+        for field in (
+            "accesses", "hits", "misses", "writebacks_in",
+            "bank_conflict_cycles", "hop_cycles",
+        ):
+            l2.scalar(field, source=(lambda f=field: getattr(self.memsys.l2.stats, f)))
+        l2.vector("bank_accesses", lambda: self.memsys.l2.bank_accesses)
+        l2.formula(
+            "miss_rate",
+            lambda: self.memsys.l2.stats.misses / self.memsys.l2.stats.accesses,
+        )
+        dram = mem.group("dram")
+        for field in ("accesses", "queue_cycles", "row_activations"):
+            dram.scalar(field, source=(lambda f=field: getattr(self.memsys.dram.stats, f)))
+        directory = mem.group("directory")
+        for field in (
+            "requests", "invalidations_sent", "downgrades_sent",
+            "cache_to_cache_transfers",
+        ):
+            directory.scalar(
+                field, source=(lambda f=field: getattr(self.memsys.directory, f))
+            )
+
+        violations = reg.group("violations")
+        for field in (
+            "simulation_state", "system_state", "workload_state",
+            "fastforwards", "fastforward_cycles",
+        ):
+            violations.scalar(
+                field, source=(lambda f=field: getattr(self.counters, f))
+            )
+        violations.vector("by_resource", lambda: self.counters.by_resource)
+
+        if self.system is not None:
+            sync = reg.group("sync")
+            stats = self.system.sync.stats
+            for field in (
+                "lock_acquires", "lock_contended", "barrier_episodes",
+                "sema_waits", "sema_blocked",
+            ):
+                sync.scalar(field, source=(lambda s=stats, f=field: getattr(s, f)))
+        return reg
 
     # ------------------------------------------------------------ activation
     def _init_registers(self, core: int, tid: int) -> None:
@@ -265,6 +456,41 @@ class SequentialEngine:
         n_susp = 0
         single = sim.stepping == "single"
         wait_chunk = sim.wait_chunk
+        snap_interval = sim.stats_interval
+        # Engine counters and the slack histogram live in hoisted locals for
+        # the duration of the loop (a per-turn ``self.x += 1`` or a
+        # ``Distribution.add`` call costs real throughput at cc turn rates);
+        # ``sync_stats`` folds them back before any registry dump.
+        manager_steps = self.manager_steps
+        manager_polls = self.manager_polls
+        suspends = self.suspends
+        wakes_delivered = self.wakes_delivered
+        parks = self.parks
+        slack_dist = self._slack_dist
+        slack_buckets = slack_dist.buckets  # shared list, updated in place
+        s_count = 0
+        s_total = 0
+        s_min = 1 << 63
+        s_max = -1
+
+        def sync_stats() -> None:
+            nonlocal s_count, s_total, s_min, s_max
+            self.manager_steps = manager_steps
+            self.manager_polls = manager_polls
+            self.suspends = suspends
+            self.wakes_delivered = wakes_delivered
+            self.parks = parks
+            if s_count:
+                if slack_dist.count == 0 or s_min < slack_dist._min:
+                    slack_dist._min = s_min
+                if s_max > slack_dist._max:
+                    slack_dist._max = s_max
+                slack_dist.count += s_count
+                slack_dist.total += s_total
+                s_count = 0
+                s_total = 0
+                s_min = 1 << 63
+                s_max = -1
         heappush(heap, (0.0, nxt(), -1))
         active_cores = 0
         for ct in cores:
@@ -302,9 +528,11 @@ class SequentialEngine:
                     # break (a re-pushed poll has a larger seq and loses).
                     done_t = hostrun(ready, poll_cost)
                     mgr_idle_streak += 1
+                    manager_polls += 1
                     while heap and done_t < heap[0][0]:
                         done_t = hostrun(done_t, poll_cost)
                         mgr_idle_streak += 1
+                        manager_polls += 1
                         if mgr_idle_streak > 100_000:
                             break
                     if mgr_idle_streak > 100_000:
@@ -313,6 +541,13 @@ class SequentialEngine:
                     continue
                 result = manager.step()
                 mgr_dirty = False
+                manager_steps += 1
+                if snap_interval and manager.global_time >= self._next_snapshot:
+                    sync_stats()
+                    self.registry.snapshot(manager.global_time)
+                    self._next_snapshot = (
+                        manager.global_time // snap_interval + 1
+                    ) * snap_interval
                 cost = manager_step_cost(result.drained, result.processed)
                 done_t = hostrun(ready, cost)
                 # Wakes leave the manager serially (futex hand-off): the
@@ -333,6 +568,7 @@ class SequentialEngine:
                         wake_t = done_t + wake_cost + woken * fanout_cost
                         woken += 1
                         heappush(heap, (max(wake_t, next_free[cid]), nxt(), cid))
+                wakes_delivered += woken
                 self._drain_activations(heap, nxt, done_t, next_free)
                 if result.work == 0 and not result.raised:
                     mgr_idle_streak += 1
@@ -361,6 +597,7 @@ class SequentialEngine:
                 if not manager.refresh_window(ct):
                     suspended[idx] = True
                     n_susp += 1
+                    suspends += 1
                     if barrier_policy and n_susp >= self._active_cores:
                         mgr_dirty = True
                         mgr_idle_streak = 0
@@ -373,6 +610,17 @@ class SequentialEngine:
                 # Models without the batching protocol keep the legacy
                 # per-cycle loop at seed-era chunking (identical either mode).
                 stats = ct.run(min(budget, 8))
+            # Inline Distribution.add on hoisted locals: ``slack`` is bounded
+            # by max_cycles, far below the 2**64 top bucket, so the raw
+            # ``bit_length`` index is always in range.
+            slack = ct.local_time - manager.global_time
+            slack_buckets[slack.bit_length()] += 1
+            s_count += 1
+            s_total += slack
+            if slack < s_min:
+                s_min = slack
+            if slack > s_max:
+                s_max = slack
             if (
                 not barrier_policy
                 or ct.outq._q
@@ -404,6 +652,7 @@ class SequentialEngine:
                     wake_t = done_t + wake_cost + woken * fanout_cost
                     woken += 1
                     heappush(heap, (max(wake_t, next_free[core_id]), nxt(), core_id))
+            wakes_delivered += woken
             self._drain_activations(heap, nxt, done_t, next_free)
             self.total_committed += stats.committed
             if ct.state != CoreState.ACTIVE:
@@ -425,14 +674,17 @@ class SequentialEngine:
                     else:
                         suspended[idx] = True
                         n_susp += 1
+                        suspends += 1
                         if barrier_policy and n_susp >= self._active_cores:
                             mgr_dirty = True
                             mgr_idle_streak = 0
                 elif park:
                     parked[idx] = True
+                    parks += 1
                 else:
                     heappush(heap, (done_t, nxt(), idx))
 
+        sync_stats()
         self.manager.check_invariants()
         return self._build_result(completed)
 
@@ -457,31 +709,37 @@ class SequentialEngine:
 
     # ---------------------------------------------------------------- result
     def _build_result(self, completed: bool) -> SimulationResult:
-        ran = [ct for ct in self.cores if ct.ever_active]
-        if completed and ran:
-            execution = max(ct.final_time for ct in ran)
-        else:
-            execution = self.manager.global_time
+        """Thin view over the stats registry.
+
+        The summary fields read the same component attributes the registry's
+        sources are bound to (``tests/core/test_stats_integration.py`` pins
+        the agreement); the full dump and digest materialise lazily via
+        ``registry_factory`` on first ``result.stats`` access, so runs whose
+        caller never inspects stats — the perf benches — pay nothing.
+        """
+        self._completed = completed
         core_results = []
-        for ct in ran:
-            l1 = getattr(ct.model, "l1d", None)
+        for ct in self.cores:
+            if not ct.ever_active:
+                continue
+            l1d = getattr(ct.model, "l1d", None)
             core_results.append(
                 CoreResult(
                     core_id=ct.core_id,
                     committed=ct.total_committed,
                     cycles=ct.total_cycles,
                     final_time=ct.final_time or ct.local_time,
-                    l1_accesses=l1.stats.accesses if l1 else 0,
-                    l1_misses=l1.stats.misses if l1 else 0,
+                    l1_accesses=l1d.stats.accesses if l1d is not None else 0,
+                    l1_misses=l1d.stats.misses if l1d is not None else 0,
                 )
             )
-        sync_stats = self.system.sync.stats if self.system else None
+        sync = self.system.sync.stats if self.system is not None else None
         return SimulationResult(
             scheme=self.scheme.name,
             host_cores=self.host_cfg.num_cores,
             seed=self.sim.seed,
             completed=completed,
-            execution_cycles=execution,
+            execution_cycles=self._execution_cycles(),
             global_time=self.manager.global_time,
             instructions=self.total_committed,
             host_time=self.hostmodel.makespan(),
@@ -491,9 +749,10 @@ class SequentialEngine:
             output=self.system.merged_output() if self.system else [],
             requests=self.manager.requests_processed,
             barriers=self.manager.barriers_completed,
-            lock_acquires=sync_stats.lock_acquires if sync_stats else 0,
-            lock_contended=sync_stats.lock_contended if sync_stats else 0,
+            lock_acquires=sync.lock_acquires if sync is not None else 0,
+            lock_contended=sync.lock_contended if sync is not None else 0,
             engine_steps=self.engine_steps,
+            registry_factory=lambda: self.registry,
         )
 
 

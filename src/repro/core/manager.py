@@ -45,6 +45,10 @@ class SimulationManager:
         self.global_time = 0
         self.requests_processed = 0
         self.barriers_completed = 0
+        self.events_drained = 0
+        self.windows_raised = 0
+        self.gq_max_depth = 0
+        self._gq_depth = 0
         # Hoisted policy facts (schemes are immutable descriptors).
         self._barrier = scheme.gq_policy == "barrier"
         self._lookahead = isinstance(scheme, Lookahead)
@@ -86,6 +90,7 @@ class SimulationManager:
         new_max = self.current_max_local()
         if new_max > ct.max_local_time:
             ct.max_local_time = new_max
+            self.windows_raised += 1
             return True
         return False
 
@@ -123,6 +128,10 @@ class SimulationManager:
                 if lt < ct.max_local_time:
                     at_edge = False
         result.drained = drained
+        self.events_drained += drained
+        self._gq_depth += drained
+        if self._gq_depth > self.gq_max_depth:
+            self.gq_max_depth = self._gq_depth
 
         processed = 0
         policy = self.scheme.gq_policy
@@ -156,6 +165,7 @@ class SimulationManager:
                     boundary = min(ct.max_local_time for ct in active)
                     self._adapt(processed, max(1, boundary - self.global_time))
         result.processed = processed
+        self._gq_depth -= processed
 
         # Advance global time (monotonic; excludes idle/done cores).
         if min_local is not None and min_local > self.global_time:
@@ -168,6 +178,7 @@ class SimulationManager:
             if new_max > ct.max_local_time:
                 ct.max_local_time = new_max
                 raised.append(ct.core_id)
+        self.windows_raised += len(raised)
         return result
 
     # --------------------------------------------------------------- service

@@ -1,7 +1,17 @@
-"""Simulation run results and derived metrics (speedup, error, KIPS)."""
+"""Simulation run results and derived metrics (speedup, error, KIPS).
+
+:class:`SimulationResult` is a thin view over the engine's stats registry:
+the engine attaches a ``registry_factory`` at build time, and ``stats`` (the
+registry's flat dump) and ``stats_sha256`` (its digest) materialise lazily on
+first access — callers that never look at stats (the perf benches) pay none
+of the dump cost.  The summary fields read the same component attributes the
+registry's sources are bound to, so the two views cannot drift
+(``tests/core/test_stats_integration.py`` pins the agreement).
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.host.costmodel import HOST_UNIT_SECONDS
@@ -49,6 +59,39 @@ class SimulationResult:
     lock_acquires: int = 0
     lock_contended: int = 0
     engine_steps: int = 0
+    #: Zero-arg callable yielding the run's stats registry; resolved lazily
+    #: so the registry/dump/digest cost stays off the simulate fast path.
+    registry_factory: object = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._registry = None
+        self._stats = None
+        self._digest = None
+
+    @property
+    def registry(self):
+        """The run's live stats registry (None for hand-built results)."""
+        if self._registry is None and self.registry_factory is not None:
+            self._registry = self.registry_factory()
+        return self._registry
+
+    @property
+    def stats(self) -> dict:
+        """Flat ``{dotted_path: value}`` dump of the run's stats registry,
+        materialised on first access and cached."""
+        if self._stats is None:
+            reg = self.registry
+            self._stats = reg.dump() if reg is not None else {}
+        return self._stats
+
+    @property
+    def stats_sha256(self) -> str:
+        """Digest of the registry's digest-marked stats (determinism
+        fingerprint), computed on first access and cached."""
+        if self._digest is None:
+            reg = self.registry
+            self._digest = reg.stats_digest() if reg is not None else ""
+        return self._digest
 
     # ------------------------------------------------------------ derived
     @property
@@ -75,6 +118,35 @@ class SimulationResult:
         if gold.execution_cycles == 0:
             return 0.0
         return abs(self.execution_cycles - gold.execution_cycles) / gold.execution_cycles
+
+    # ------------------------------------------------------------- registry
+    def stats_digest(self) -> str:
+        """Determinism fingerprint over the registry's digest-marked stats."""
+        return self.stats_sha256
+
+    def dump_json(self) -> str:
+        """Full stats document (meta + stats + snapshots + digest), sorted."""
+        meta = {
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "host_cores": self.host_cores,
+            "completed": self.completed,
+        }
+        if self.registry is not None:
+            return self.registry.dump_json(meta=meta)
+        doc = {
+            "meta": meta,
+            "digest": self.stats_sha256,
+            "stats": dict(sorted(self.stats.items())),
+            "snapshots": [],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def dump_csv(self) -> str:
+        """``stat,value`` lines of the registry dump, sorted by path."""
+        from repro.stats.registry import dump_to_csv
+
+        return dump_to_csv(self.stats)
 
     def int_output(self) -> list[int]:
         return [v for v in self.output if isinstance(v, int)]
@@ -115,6 +187,8 @@ class SimulationResult:
                 }
                 for c in self.cores
             ],
+            "stats": dict(sorted(self.stats.items())),
+            "stats_digest": self.stats_sha256,
         }
 
     def summary(self) -> str:

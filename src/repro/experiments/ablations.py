@@ -40,6 +40,16 @@ class SweepPoint:
     workload_violations: int = 0
 
 
+def _total_violations(result) -> int:
+    """Violation total read off the run's stats registry dump."""
+    stats = result.stats
+    return (
+        stats["violations.simulation_state"]
+        + stats["violations.system_state"]
+        + stats["violations.workload_state"]
+    )
+
+
 def run_slack_sweep(
     workload: str = "fft",
     slacks: tuple[int, ...] = (1, 4, 9, 25, 100, 400),
@@ -59,7 +69,7 @@ def run_slack_sweep(
                 label=f"s{slack}",
                 speedup=result.speedup_over(base),
                 error=result.error_vs(gold),
-                violations=result.violations.total,
+                violations=_total_violations(result),
             )
         )
     result = runner.run(workload, "su", host_cores)
@@ -68,7 +78,7 @@ def run_slack_sweep(
             label="su",
             speedup=result.speedup_over(base),
             error=result.error_vs(gold),
-            violations=result.violations.total,
+            violations=_total_violations(result),
         )
     )
     return points
@@ -98,7 +108,7 @@ def run_critical_latency_sweep(
                 label=f"s{slack}*",
                 speedup=result.speedup_over(base),
                 error=result.error_vs(gold),
-                violations=result.violations.total,
+                violations=_total_violations(result),
             )
         )
     return points
@@ -121,13 +131,13 @@ def run_fastforward_ablation(
         "workload": workload,
         "off": {
             "error": off.error_vs(gold),
-            "workload_violations": off.violations.workload_state,
-            "fastforwards": off.violations.fastforwards,
+            "workload_violations": off.stats["violations.workload_state"],
+            "fastforwards": off.stats["violations.fastforwards"],
         },
         "on": {
             "error": on.error_vs(gold),
-            "workload_violations": on.violations.workload_state,
-            "fastforwards": on.violations.fastforwards,
+            "workload_violations": on.stats["violations.workload_state"],
+            "fastforwards": on.stats["violations.fastforwards"],
         },
     }
 
@@ -178,7 +188,7 @@ def run_adaptive_quantum(
                 label=config,
                 speedup=result.speedup_over(base),
                 error=result.error_vs(gold),
-                violations=result.violations.total,
+                violations=_total_violations(result),
             )
         )
     return points

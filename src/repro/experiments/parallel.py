@@ -106,17 +106,26 @@ def run_point(spec: PointSpec) -> dict:
         raise AssertionError(
             f"{spec.workload} mis-executed under {spec.scheme}: " + "; ".join(problems)
         )
+    # Metrics come off the run's registry dump — one deterministic document
+    # per point, the same bytes whatever worker produced it.
+    stats = result.stats
     return {
         "spec": asdict(spec),
         "completed": result.completed,
-        "execution_cycles": result.execution_cycles,
-        "global_time": result.global_time,
-        "instructions": result.instructions,
-        "host_time": result.host_time,
+        "execution_cycles": stats["target.execution_cycles"],
+        "global_time": stats["target.global_time"],
+        "instructions": stats["target.instructions"],
+        "host_time": stats["host.makespan"],
         "kips": result.kips,
-        "violations": result.violations.total,
-        "workload_violations": result.violations.workload_state,
+        "violations": (
+            stats["violations.simulation_state"]
+            + stats["violations.system_state"]
+            + stats["violations.workload_state"]
+        ),
+        "workload_violations": stats["violations.workload_state"],
         "output_sha256": _output_digest(result.output),
+        "stats": stats,
+        "stats_digest": result.stats_sha256,
     }
 
 

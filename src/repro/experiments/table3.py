@@ -57,7 +57,13 @@ def run_table3(runner: Runner | None = None, host_cores: int = 8) -> list[Table3
         for scheme in ERROR_SCHEMES + CONSERVATIVE_SCHEMES:
             result = runner.run(bench, scheme, host_cores)
             errors[scheme] = result.error_vs(gold)
-            violations[scheme] = result.violations.total
+            # Violation totals come off the run's stats registry dump.
+            stats = result.stats
+            violations[scheme] = (
+                stats["violations.simulation_state"]
+                + stats["violations.system_state"]
+                + stats["violations.workload_state"]
+            )
         rows.append(
             Table3Row(
                 benchmark=bench,

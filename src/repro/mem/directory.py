@@ -64,7 +64,9 @@ class Directory:
 
     def __init__(self, num_cores: int, counters: ViolationCounters | None = None) -> None:
         self.num_cores = num_cores
-        self.counters = counters
+        # Default no-op sink: standalone directories count into a private
+        # ViolationCounters instead of guarding every record with None checks.
+        self.counters = counters if counters is not None else ViolationCounters()
         self._entries: dict[int, _Entry] = {}
         self.requests = 0
         self.invalidations_sent = 0
@@ -85,7 +87,7 @@ class Directory:
             raise ValueError(f"core {core} out of range")
         entry = self._entry(addr)
         self.requests += 1
-        if ts < entry.last_ts and self.counters is not None:
+        if ts < entry.last_ts:
             self.counters.record_system_state("directory")
         if ts > entry.last_ts:
             entry.last_ts = ts

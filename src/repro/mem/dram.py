@@ -18,10 +18,15 @@ __all__ = ["Dram", "DramStats"]
 class DramStats:
     accesses: int = 0
     queue_cycles: int = 0
+    #: Row-buffer activations (open-row bookkeeping only; timing is fixed).
+    row_activations: int = 0
 
 
 class Dram:
     """Fixed-latency DRAM with a single service port."""
+
+    #: Row-buffer granularity for activation accounting (4 KiB rows).
+    ROW_SHIFT = 12
 
     def __init__(
         self,
@@ -33,17 +38,26 @@ class Dram:
         self.service_cycles = service_cycles
         self.free_at = 0
         self._last_ts = 0
-        self.counters = counters
+        self._open_row: int | None = None
+        self.counters = counters if counters is not None else ViolationCounters()
         self.stats = DramStats()
 
-    def access(self, ts: int) -> int:
-        """Access starting at simulated time *ts*; returns completion time."""
-        if ts < self._last_ts and self.counters is not None:
+    def access(self, ts: int, addr: int = 0) -> int:
+        """Access starting at simulated time *ts*; returns completion time.
+
+        The latency model is deliberately flat; *addr* only feeds the open-row
+        activation statistic.
+        """
+        if ts < self._last_ts:
             self.counters.record_simulation_state("dram")
         start = max(ts, self.free_at)
         self.free_at = start + self.service_cycles
         self.stats.accesses += 1
         self.stats.queue_cycles += start - ts
+        row = addr >> self.ROW_SHIFT
+        if row != self._open_row:
+            self._open_row = row
+            self.stats.row_activations += 1
         if ts > self._last_ts:
             self._last_ts = ts
         return start + self.latency

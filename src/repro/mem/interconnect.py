@@ -36,14 +36,14 @@ class Bus:
     ) -> None:
         self.transfer_cycles = transfer_cycles
         self.free_at = 0
-        self.counters = counters
+        self.counters = counters if counters is not None else ViolationCounters()
         self.name = name
         self.stats = InterconnectStats()
         self._last_grant_ts = 0
 
     def occupy(self, ts: int) -> int:
         """Request the bus at simulated time *ts*; returns the grant time."""
-        if ts < self._last_grant_ts and self.counters is not None:
+        if ts < self._last_grant_ts:
             # Processed out of simulated-time order: a request from the past
             # sees occupancy created by its future (Figure 4).
             self.counters.record_simulation_state(self.name)
@@ -76,13 +76,13 @@ class Crossbar:
         self.transfer_cycles = transfer_cycles
         self.free_at = [0] * ports
         self._last_grant_ts = [0] * ports
-        self.counters = counters
+        self.counters = counters if counters is not None else ViolationCounters()
         self.name = name
         self.stats = InterconnectStats()
 
     def occupy(self, ts: int, port: int) -> int:
         """Request *port* at simulated time *ts*; returns the grant time."""
-        if ts < self._last_grant_ts[port] and self.counters is not None:
+        if ts < self._last_grant_ts[port]:
             self.counters.record_simulation_state(f"{self.name}[{port}]")
         grant = max(ts, self.free_at[port])
         self.stats.transfers += 1

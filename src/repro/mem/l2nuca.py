@@ -48,6 +48,7 @@ class L2Stats:
     misses: int = 0
     writebacks_in: int = 0
     bank_conflict_cycles: int = 0
+    hop_cycles: int = 0
 
 
 class _BankArray:
@@ -93,8 +94,9 @@ class L2Nuca:
         self.banks = [_BankArray(cfg.sets_per_bank, cfg.assoc) for _ in range(cfg.num_banks)]
         self.bank_free_at = [0] * cfg.num_banks
         self._bank_last_ts = [0] * cfg.num_banks
-        self.counters = counters
+        self.counters = counters if counters is not None else ViolationCounters()
         self.stats = L2Stats()
+        self.bank_accesses = [0] * cfg.num_banks
 
     # ------------------------------------------------------------- geometry
     def bank_of(self, addr: int) -> int:
@@ -126,7 +128,7 @@ class L2Nuca:
         """
         cfg = self.config
         bank = self.bank_of(addr)
-        if ts < self._bank_last_ts[bank] and self.counters is not None:
+        if ts < self._bank_last_ts[bank]:
             self.counters.record_simulation_state(f"l2bank[{bank}]")
         start = max(ts, self.bank_free_at[bank])
         self.bank_free_at[bank] = start + cfg.bank_occupancy
@@ -136,6 +138,7 @@ class L2Nuca:
         set_index, tag = self._set_tag(addr)
         hit = self.banks[bank].touch(set_index, tag)
         self.stats.accesses += 1
+        self.bank_accesses[bank] += 1
         if is_writeback:
             self.stats.writebacks_in += 1
             return start + cfg.bank_occupancy, hit
@@ -143,5 +146,7 @@ class L2Nuca:
             self.stats.hits += 1
         else:
             self.stats.misses += 1
-        latency = cfg.bank_latency + cfg.hop_cycles * self.distance(core, bank)
+        hops = cfg.hop_cycles * self.distance(core, bank)
+        self.stats.hop_cycles += hops
+        latency = cfg.bank_latency + hops
         return start + latency, hit

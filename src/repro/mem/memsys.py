@@ -76,7 +76,10 @@ class MemorySystem:
     ) -> None:
         self.config = config or MemSysConfig()
         self.num_cores = num_cores
-        self.counters = counters
+        # A fresh ViolationCounters is the no-op sink: standalone use (tests,
+        # examples) gets a private counter set instead of Optional plumbing.
+        self.counters = counters if counters is not None else ViolationCounters()
+        counters = self.counters
         # Internal resources model *contention* only; out-of-order processing
         # detection happens here in service(), keyed on the request timestamp
         # (internal completion-time skew — NUCA hops, background writebacks —
@@ -103,8 +106,7 @@ class MemorySystem:
         serviced out of timestamp order on a shared resource."""
         last = self._order_ts.get(resource, 0)
         if ts < last:
-            if self.counters is not None:
-                self.counters.record_simulation_state(resource)
+            self.counters.record_simulation_state(resource)
         else:
             self._order_ts[resource] = ts
 
@@ -141,7 +143,7 @@ class MemorySystem:
                 ready = bank_ready
             else:
                 self._check_order("dram", ts)
-                ready = self.dram.access(bank_ready)
+                ready = self.dram.access(bank_ready, addr)
         # Data return path: point-to-point, contention-free by design.
         ready_ts = ready + cfg.bus_transfer_cycles
         coherence_ts = arrive + cfg.directory_cycles

@@ -1,7 +1,38 @@
-"""Statistics and reporting: metrics (harmonic mean, relative error) and
-ASCII table rendering used by every experiment harness."""
+"""Statistics and reporting: the hierarchical stats registry every layer
+reports into, metrics (harmonic mean, relative error) and ASCII table
+rendering used by every experiment harness."""
 
 from repro.stats.metrics import geometric_mean, harmonic_mean, percent, relative_error
+from repro.stats.registry import (
+    Distribution,
+    Formula,
+    Scalar,
+    Stat,
+    StatError,
+    StatsGroup,
+    StatsRegistry,
+    Vector,
+    diff_dumps,
+    load_dump,
+    render_dump,
+)
 from repro.stats.tables import Table
 
-__all__ = ["geometric_mean", "harmonic_mean", "percent", "relative_error", "Table"]
+__all__ = [
+    "Distribution",
+    "Formula",
+    "Scalar",
+    "Stat",
+    "StatError",
+    "StatsGroup",
+    "StatsRegistry",
+    "Table",
+    "Vector",
+    "diff_dumps",
+    "geometric_mean",
+    "harmonic_mean",
+    "load_dump",
+    "percent",
+    "relative_error",
+    "render_dump",
+]

@@ -41,6 +41,40 @@ class TestMetrics:
         assert percent(0.1, 0) == "10%"
 
 
+class TestMetricsEdgeCases:
+    """Boundary behaviour pinned explicitly (empty, negative, rounding)."""
+
+    def test_geometric_mean_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([2.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([2.0, -1.0])
+
+    def test_single_element_means_are_identity(self):
+        assert harmonic_mean([7.0]) == pytest.approx(7.0)
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_geometric_mean_known_value(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_relative_error_negative_reference_uses_magnitude(self):
+        assert relative_error(-90, -100) == pytest.approx(0.10)
+        assert relative_error(110, -100) == pytest.approx(2.10)
+
+    def test_relative_error_exact_match_is_zero(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_percent_rounding(self):
+        # f-string formatting uses round-half-even on the decimal digits.
+        assert percent(0.12345, 1) == "12.3%"
+        assert percent(0.12355, 1) == "12.4%"
+        assert percent(1.0) == "100.00%"
+        assert percent(0.0) == "0.00%"
+        assert percent(-0.05) == "-5.00%"
+
+
 class TestTable:
     def test_render_contains_cells(self):
         t = Table("Demo", ["a", "b"])

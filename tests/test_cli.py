@@ -54,6 +54,66 @@ def test_sweep(capsys):
     assert "slack sweep" in out and "su" in out
 
 
+def test_run_stats_out_then_show_and_diff(tmp_path, capsys):
+    a = tmp_path / "a.stats.json"
+    b = tmp_path / "b.stats.json"
+    run = ["run", "--workload", "fft", "--scale", "tiny", "--scheme", "s9",
+           "--host-cores", "2"]
+    assert main(run + ["--stats-out", str(a)]) == 0
+    assert main(run + ["--stats-out", str(b)]) == 0
+    capsys.readouterr()
+
+    assert main(["stats", "show", str(a)]) == 0
+    out = capsys.readouterr().out
+    assert "target.instructions" in out and "scheme.slack_cycles.count" in out
+
+    # Deterministic reruns diff clean (exit 0).
+    assert main(["stats", "diff", str(a), str(b)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_stats_diff_reports_differences(tmp_path, capsys):
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"stats": {"x": 1, "only_a": 2}}))
+    b.write_text(json.dumps({"stats": {"x": 3, "only_b": 4}}))
+    assert main(["stats", "diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "~ x: 1 -> 3" in out
+    assert "- only_a = 2" in out
+    assert "+ only_b = 4" in out
+
+
+def test_stats_diff_needs_two_files(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    a.write_text('{"stats": {}}')
+    assert main(["stats", "diff", str(a)]) == 2
+
+
+def test_run_stats_csv_output(tmp_path, capsys):
+    out_file = tmp_path / "run.csv"
+    assert main(["run", "--workload", "fft", "--scale", "tiny",
+                 "--host-cores", "2", "--stats-out", str(out_file),
+                 "--stats-format", "csv"]) == 0
+    text = out_file.read_text()
+    assert text.startswith("stat,value\n")
+    assert "violations.simulation_state," in text
+
+
+def test_run_stats_interval_records_snapshots(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "run.stats.json"
+    assert main(["run", "--workload", "fft", "--scale", "tiny",
+                 "--host-cores", "2", "--stats-interval", "5000",
+                 "--stats-out", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["snapshots"], "expected at least one interval snapshot"
+    assert doc["stats"]["sim.scheme"] == "cc"
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
