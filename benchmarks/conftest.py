@@ -15,6 +15,7 @@ import pathlib
 
 import pytest
 
+from repro._util import atomic_write_text
 from repro.experiments.common import Runner
 
 REPORTS = pathlib.Path(__file__).resolve().parent.parent / "reports"
@@ -37,5 +38,6 @@ def report_dir() -> pathlib.Path:
 
 def write_report(report_dir: pathlib.Path, name: str, text: str) -> None:
     path = report_dir / name
-    path.write_text(text + "\n")
+    # Atomic publish: an interrupted bench run never leaves a torn report.
+    atomic_write_text(path, text + "\n")
     print(f"\n[report written to {path}]\n{text}")

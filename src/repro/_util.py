@@ -1,16 +1,29 @@
-"""Small shared utilities: deterministic RNG streams, bit manipulation.
+"""Small shared utilities: deterministic RNG streams, bit manipulation,
+crash-safe file output.
 
 Everything in the simulator that needs randomness derives it from a
 :class:`SeedSequenceFactory` so that a single ``SimConfig.seed`` makes the
 whole run reproducible (see DESIGN.md, "Determinism").
+
+:func:`atomic_write_bytes` / :func:`atomic_write_text` are the one
+write-a-file-safely primitive shared by every artifact producer — the
+compile cache, ``--stats-out`` dumps, sweep JSON documents and manifests,
+checkpoints, and bench reports.  A reader can never observe a truncated
+file: data lands in a same-directory tempfile first and is published with
+an atomic ``os.replace``.
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 import numpy as np
 
 __all__ = [
     "SeedStream",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "sign_extend",
     "to_signed64",
     "to_unsigned64",
@@ -21,6 +34,34 @@ __all__ = [
 ]
 
 _MASK64 = (1 << 64) - 1
+
+
+def atomic_write_bytes(path: "os.PathLike[str] | str", data: bytes) -> None:
+    """Write *data* to *path* atomically (same-dir tempfile + ``os.replace``).
+
+    Either the old content or the complete new content is visible — never a
+    torn intermediate, even if the process is killed mid-write.  Parent
+    directories are created as needed.
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path) or "."
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=os.path.basename(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: "os.PathLike[str] | str", text: str, encoding: str = "utf-8") -> None:
+    """Atomic counterpart of ``Path.write_text`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
 
 
 class SeedStream:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro._util import atomic_write_text
 from repro.core import run_simulation
 from repro.core.config import HostConfig, SimConfig, TargetConfig
 
@@ -26,6 +27,23 @@ __all__ = ["main"]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.restore:
+        # Resume a checkpointed run.  The engine (config, program image,
+        # clocks, queues) travels inside the checkpoint; the original
+        # workload oracle does not, so output verification is skipped here —
+        # restore *equivalence* is pinned by tests/core/test_checkpoint.py.
+        from repro.core.checkpoint import load_checkpoint
+
+        engine = load_checkpoint(args.restore)
+        result = engine.run()
+        print(result.summary())
+        print(f"resumed from {args.restore}: completed={result.completed}")
+        if args.stats_out:
+            text = result.dump_csv() if args.stats_format == "csv" else result.dump_json()
+            atomic_write_text(args.stats_out, text)
+            print(f"stats ({args.stats_format}) -> {args.stats_out}")
+        return 0
+
     from repro.workloads import make_workload
 
     workload = make_workload(args.workload, scale=args.scale)
@@ -38,13 +56,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             fastforward=args.fastforward,
             stats_interval=args.stats_interval,
+            fault_plan=args.faults,
+            host_timeout=args.host_timeout,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_path=args.checkpoint,
         ),
     )
     print(result.summary())
+    if args.faults:
+        print(f"faults injected: {result.stats.get('faults.injected', 0)} "
+              f"(plan: {args.faults})")
     if args.stats_out:
         text = result.dump_csv() if args.stats_format == "csv" else result.dump_json()
-        with open(args.stats_out, "w") as fh:
-            fh.write(text)
+        atomic_write_text(args.stats_out, text)
         print(f"stats ({args.stats_format}) -> {args.stats_out}")
     problems = workload.mismatches(result.output)
     if problems:
@@ -114,13 +138,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from repro.experiments.parallel import run_sweep, sweep_to_json
 
+    if args.resume and not args.manifest_dir:
+        print("sweep --resume requires --manifest-dir", file=sys.stderr)
+        return 2
     payload = run_sweep(
-        args.experiment, jobs=args.jobs, scale=args.scale, base_seed=args.seed
+        args.experiment, jobs=args.jobs, scale=args.scale, base_seed=args.seed,
+        manifest_dir=args.manifest_dir, resume=args.resume,
+        max_retries=args.max_retries,
     )
     text = sweep_to_json(payload)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text)
+        atomic_write_text(args.out, text)
         print(f"{args.experiment}: {len(payload['points'])} points -> {args.out}")
     else:
         print(text, end="")
@@ -209,6 +237,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dump format for --stats-out (default json)")
     run.add_argument("--stats-interval", type=int, default=0,
                      help="snapshot the registry every N target cycles (0: off)")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="fault-injection plan, e.g. "
+                     "'overrun_window:core=2,at=500,extra=256;corrupt_dir:at=800'")
+    run.add_argument("--host-timeout", type=float, default=120.0,
+                     help="threaded-engine watchdog: abort after this many "
+                     "seconds without global-time progress")
+    run.add_argument("--checkpoint-interval", type=int, default=0, metavar="N",
+                     help="checkpoint every N target cycles of global time "
+                     "(0: off; requires --checkpoint)")
+    run.add_argument("--checkpoint", metavar="PATH",
+                     help="checkpoint file (atomically replaced each interval)")
+    run.add_argument("--restore", metavar="PATH",
+                     help="resume a checkpointed run (other run options are "
+                     "taken from the checkpoint)")
     run.set_defaults(func=_cmd_run)
 
     comp = sub.add_parser("compile", help="compile a Slang source file")
@@ -241,6 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workload", default="fft")
     sweep.add_argument("--scale")
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--manifest-dir", metavar="DIR",
+                       help="persist each finished point here (atomic writes); "
+                       "enables --resume after a crash or kill")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip points already finished in --manifest-dir "
+                       "(byte-identical output to an uninterrupted sweep)")
+    sweep.add_argument("--max-retries", type=int, default=2,
+                       help="extra attempts per point after a worker crash "
+                       "(default 2; point errors never retry)")
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser("bench", help="functional KIPS measurement of one workload")

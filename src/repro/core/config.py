@@ -114,3 +114,17 @@ class SimConfig:
     #: after each N-cycle global-time boundary records one snapshot — so the
     #: per-cycle simulate loop never sees it.
     stats_interval: int = 0
+    #: Fault-injection plan spec (see :mod:`repro.faults`), e.g.
+    #: ``"overrun_window:core=2,at=500,extra=256"``.  None (default) leaves
+    #: the engine entirely unhooked — fault seams cost nothing when unused.
+    fault_plan: str | None = None
+    #: Wall-clock seconds the threaded engine's watchdog allows without
+    #: global-time progress before aborting with SimulationHungError.  The
+    #: total run time is unbounded as long as the simulation advances.
+    host_timeout: float = 120.0
+    #: Write a checkpoint every N target cycles of global time (0 = off).
+    #: Like stats_interval, the check rides the manager-step branch.
+    checkpoint_interval: int = 0
+    #: Where checkpoints land (a single file, atomically replaced).  A
+    #: nonzero checkpoint_interval with no path is a configuration error.
+    checkpoint_path: str | None = None

@@ -96,6 +96,15 @@ class SequentialEngine:
         self.parks = 0
         self._completed = False
         self._next_snapshot = self.sim.stats_interval or 0
+        self._next_checkpoint = self.sim.checkpoint_interval or 0
+        if self.sim.checkpoint_interval:
+            if not self.sim.checkpoint_path:
+                raise EngineError("checkpoint_interval set without checkpoint_path")
+            if self.sim.fault_plan:
+                raise EngineError(
+                    "checkpointing a fault-injected run is unsupported "
+                    "(fault hooks are closures and would not survive restore)"
+                )
         #: Optional probe(host_time, global_time, locals) called after every
         #: manager step — used by the Figure 2 scheme-anatomy experiment.
         self.probe = None
@@ -124,6 +133,14 @@ class SequentialEngine:
                 ct.model = model
                 self.cores.append(ct)
         self.manager = SimulationManager(self.cores, self.memsys, self.scheme)
+        # Fault injection (DESIGN.md §8): hooks install only when a plan is
+        # configured, so the default engine carries zero fault-path overhead.
+        self.faults = None
+        if self.sim.fault_plan:
+            from repro.faults import parse_fault_plan
+
+            self.faults = parse_fault_plan(self.sim.fault_plan, seed=self.sim.seed)
+            self.faults.install(self)
         # The slack histogram is the registry's one direct-write stat, fed
         # from the run loop; the registry itself is built lazily (first
         # access) so engine construction stays off the simulate fast path.
@@ -170,6 +187,20 @@ class SequentialEngine:
                 **common,
             )
         raise EngineError(f"unknown core model {self.target.core_model!r}")
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Checkpoint hook (:mod:`repro.core.checkpoint`).
+
+        The registry is a web of dump-time lambdas over the components — it
+        is dropped and lazily rebuilt on first access after restore (the
+        direct-write ``_slack_dist`` travels and is simply re-registered).
+        The probe is an experiment-side observer, not simulation state.
+        """
+        state = dict(self.__dict__)
+        state["_registry"] = None
+        state["probe"] = None
+        return state
 
     # -------------------------------------------------------------- registry
     @property
@@ -323,6 +354,11 @@ class SequentialEngine:
                 field, source=(lambda f=field: getattr(self.memsys.directory, f))
             )
 
+        if self.faults is not None:
+            faults = reg.group("faults")
+            faults.scalar("specs", source=lambda: len(self.faults.specs))
+            faults.scalar("injected", source=lambda: len(self.faults.fired))
+
         violations = reg.group("violations")
         for field in (
             "simulation_state", "system_state", "workload_state",
@@ -399,8 +435,11 @@ class SequentialEngine:
 
     def run(self) -> SimulationResult:
         sim = self.sim
+        # A restored engine carries the loop-local snapshot its checkpoint
+        # recorded (see _write_checkpoint); a fresh engine has none.
+        resume = self.__dict__.pop("_resume", None)
         heap: list[tuple[float, int, int]] = []  # (ready, seq, idx); idx -1 = manager
-        seq = itertools.count()
+        seq = itertools.count(0 if resume is None else resume["seq_next"])
         nxt = seq.__next__
         cores = self.cores
         manager = self.manager
@@ -409,26 +448,37 @@ class SequentialEngine:
         heappush, heappop = heapq.heappush, heapq.heappop
         # Hot-loop hoists: none of these can change mid-run.
         probe = self.probe
+        # Time-triggered faults ride the manager branch; None when the plan
+        # has no pending timed faults (or no plan at all), so the common case
+        # pays one identity check per manager step and nothing per turn.
+        fault_tick = (
+            self.faults.on_manager_step
+            if self.faults is not None and self.faults.needs_tick()
+            else None
+        )
         suspend_cost = self.host_cfg.suspend_cost
         wake_cost = costmodel.wake_cost
         fanout_cost = costmodel.wake_fanout_cost
         turn_budget = self._turn_budget
         core_batch_cost = costmodel.core_batch_cost
         manager_step_cost = costmodel.manager_step_cost
-        suspended = [False] * len(cores)
+        if resume is None:
+            suspended = [False] * len(cores)
+        else:
+            suspended = list(resume["suspended"])
         # Parked: blocked on external input with an empty InQ — the core
         # cannot progress until the manager delivers (or a peer releases a
         # blocking syscall), so it is not rescheduled until then.  This is
         # the InQ-empty block of a real implementation; without it, an
         # unbounded-slack core pays a polling turn per response round-trip.
-        parked = [False] * len(cores)
+        parked = [False] * len(cores) if resume is None else list(resume["parked"])
         # Host time at which each core thread's last scheduled step finishes.
         # A wake (window raise, delivery, release) is produced at the *waker's*
         # completion time, which can precede the wakee's — a turn's target
         # effects are visible at pop time, but its host cost is still being
         # paid.  One pthread cannot run on two host cores at once, so every
         # push for a core clamps to the core's own availability.
-        next_free = [0.0] * len(cores)
+        next_free = [0.0] * len(cores) if resume is None else list(resume["next_free"])
         batched = [hasattr(ct.model, "wait_state") for ct in cores]
         # Parking is only deadlock-free when the blocked core's own clock is
         # not needed for its wake to be produced.  A memory response needs
@@ -453,10 +503,11 @@ class SequentialEngine:
             self.scheme.gq_policy == "barrier"
             and getattr(self.scheme, "adapt", None) is None
         )
-        n_susp = 0
+        n_susp = 0 if resume is None else resume["n_susp"]
         single = sim.stepping == "single"
         wait_chunk = sim.wait_chunk
         snap_interval = sim.stats_interval
+        cp_interval = sim.checkpoint_interval
         # Engine counters and the slack histogram live in hoisted locals for
         # the duration of the loop (a per-turn ``self.x += 1`` or a
         # ``Distribution.add`` call costs real throughput at cc turn rates);
@@ -491,21 +542,27 @@ class SequentialEngine:
                 s_total = 0
                 s_min = 1 << 63
                 s_max = -1
-        heappush(heap, (0.0, nxt(), -1))
-        active_cores = 0
-        for ct in cores:
-            if ct.state == CoreState.ACTIVE:
-                active_cores += 1
-                heappush(heap, (0.0, nxt(), ct.core_id))
-        self._active_cores = active_cores
+        if resume is None:
+            heappush(heap, (0.0, nxt(), -1))
+            active_cores = 0
+            for ct in cores:
+                if ct.state == CoreState.ACTIVE:
+                    active_cores += 1
+                    heappush(heap, (0.0, nxt(), ct.core_id))
+            self._active_cores = active_cores
+        else:
+            # The snapshot was taken at a manager-step boundary: the saved
+            # list is the complete live heap (manager re-push included) in
+            # valid heap order, and _active_cores travelled with the pickle.
+            heap.extend(resume["heap"])
 
         # Manager elision: a manager step with no new core work since the
         # previous step provably drains/processes/raises nothing, so the
         # Python call is skipped and only its (identical, jitter-free) poll
         # cost is charged.  Disabled while a probe wants per-step samples.
-        mgr_dirty = True
+        mgr_dirty = True if resume is None else resume["mgr_dirty"]
         poll_cost = self.host_cfg.manager_poll_cost
-        mgr_idle_streak = 0
+        mgr_idle_streak = 0 if resume is None else resume["mgr_idle_streak"]
         completed = True
         max_steps = 200_000_000
 
@@ -542,6 +599,8 @@ class SequentialEngine:
                 result = manager.step()
                 mgr_dirty = False
                 manager_steps += 1
+                if fault_tick is not None:
+                    fault_tick(self, manager.global_time)
                 if snap_interval and manager.global_time >= self._next_snapshot:
                     sync_stats()
                     self.registry.snapshot(manager.global_time)
@@ -586,6 +645,18 @@ class SequentialEngine:
                         ],
                     )
                 heappush(heap, (done_t, nxt(), -1))
+                if cp_interval and manager.global_time >= self._next_checkpoint:
+                    # The manager step's effects (wakes, costs, its own
+                    # re-push) are all applied: the loop state is exactly a
+                    # top-of-loop state, which is what restore re-enters.
+                    sync_stats()
+                    self._write_checkpoint(
+                        heap, nxt(), suspended, parked, next_free,
+                        n_susp, mgr_dirty, mgr_idle_streak,
+                    )
+                    self._next_checkpoint = (
+                        manager.global_time // cp_interval + 1
+                    ) * cp_interval
                 continue
 
             ct = cores[idx]
@@ -687,6 +758,43 @@ class SequentialEngine:
         sync_stats()
         self.manager.check_invariants()
         return self._build_result(completed)
+
+    def _write_checkpoint(
+        self,
+        heap: list,
+        seq_next: int,
+        suspended: list[bool],
+        parked: list[bool],
+        next_free: list[float],
+        n_susp: int,
+        mgr_dirty: bool,
+        mgr_idle_streak: int,
+    ) -> None:
+        """Stash the run loop's hoisted locals and pickle the whole engine.
+
+        ``seq_next`` is a freshly drawn heap tie-break value: consuming one
+        is free (only the *relative* order of seqs matters, and both the
+        continuing and the restored run proceed from the same position), and
+        it is exactly the counter state a restored ``run()`` must resume
+        from.  The payload rides inside the engine pickle; ``run()`` pops it.
+        """
+        from repro.core.checkpoint import save_checkpoint
+
+        self._resume = {
+            "heap": list(heap),
+            "seq_next": seq_next,
+            "suspended": list(suspended),
+            "parked": list(parked),
+            "next_free": list(next_free),
+            "n_susp": n_susp,
+            "mgr_dirty": mgr_dirty,
+            "mgr_idle_streak": mgr_idle_streak,
+        }
+        try:
+            assert self.sim.checkpoint_path is not None
+            save_checkpoint(self, self.sim.checkpoint_path)
+        finally:
+            del self._resume
 
     def _drain_activations(self, heap, nxt, ready: float, next_free: list[float]) -> None:
         while self._pending_activations:

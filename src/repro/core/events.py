@@ -63,6 +63,31 @@ def new_seq() -> int:
     return next(_seq_counter)
 
 
+def seq_position() -> int:
+    """The next value :func:`new_seq` will hand out (without consuming it).
+
+    ``itertools.count`` exposes its position only through ``repr`` —
+    ``count(42)`` — which is stable, documented behaviour; parsing it avoids
+    burning a sequence number just to observe the counter.  Checkpoints
+    record this so a restored process replays the exact seq stream (seqs are
+    heap tie-breakers, so absolute values must line up across processes).
+    """
+    text = repr(_seq_counter)
+    return int(text[text.index("(") + 1 : -1])
+
+
+def seq_advance_to(position: int) -> None:
+    """Fast-forward the global seq counter to at least *position*.
+
+    Used by checkpoint restore.  Never rewinds: in-process restores may have
+    already consumed seqs past the checkpoint, and monotonicity is the only
+    property the tie-break depends on.
+    """
+    global _seq_counter
+    if position > seq_position():
+        _seq_counter = itertools.count(position)
+
+
 @dataclass(slots=True)
 class Event:
     """One queue entry.

@@ -26,8 +26,10 @@ Concurrency protocol:
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
+import traceback
 
 from repro.core.corethread import CoreState
 from repro.core.engine import EngineError, SequentialEngine
@@ -36,7 +38,44 @@ from repro.core.queues import InQ
 from repro.core.results import SimulationResult
 from repro.host.costmodel import HOST_UNIT_SECONDS
 
-__all__ = ["ThreadedEngine"]
+__all__ = ["SimulationHungError", "ThreadedEngine"]
+
+
+class SimulationHungError(EngineError):
+    """The threaded run made no simulation progress for the watchdog window.
+
+    Structured for post-mortems: carries the clock protocol's state at the
+    moment of the abort (global time plus every core's ``local`` /
+    ``max_local`` window position) and a per-thread Python stack dump, so a
+    hang is attributable — a core asleep on its window edge, a manager stuck
+    in GQ service, a lost wake — without re-running under a debugger.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        global_time: int,
+        core_clocks: list[dict],
+        stacks: str,
+    ) -> None:
+        self.timeout = timeout
+        self.global_time = global_time
+        #: One entry per core: core, state, local, max_local, inq, outq.
+        self.core_clocks = core_clocks
+        #: Formatted ``sys._current_frames()`` dump of the engine's threads.
+        self.stacks = stacks
+        lines = [
+            f"threaded run made no progress for {timeout:.1f}s "
+            f"(global_time={global_time}):"
+        ]
+        for entry in core_clocks:
+            lines.append(
+                "  core {core}: state={state} local={local} "
+                "max_local={max_local} inq={inq} outq={outq}".format(**entry)
+            )
+        lines.append("thread stacks at abort:")
+        lines.append(stacks)
+        super().__init__("\n".join(lines))
 
 
 class _LockedInQ:
@@ -142,10 +181,66 @@ class ThreadedEngine(SequentialEngine):
             self._error = exc
             self._stop.set()
 
+    # -------------------------------------------------------------- watchdog
+    def _progress_marker(self) -> tuple:
+        """A value that changes iff the simulation advanced.
+
+        Global time alone is not enough — a run-ahead core makes real
+        progress while global time waits on a straggler — so local clocks
+        and the commit counter are folded in.
+        """
+        return (
+            self.manager.global_time,
+            self.total_committed,
+            sum(ct.local_time for ct in self.cores),
+        )
+
+    def _dump_stacks(self, threads: list[threading.Thread]) -> str:
+        """Format the Python stack of every engine thread still alive."""
+        frames = sys._current_frames()
+        lines: list[str] = []
+        for t in threads:
+            frame = frames.get(t.ident) if t.ident is not None else None
+            lines.append(f"--- {t.name} ({'alive' if t.is_alive() else 'dead'}) ---")
+            if frame is None:
+                lines.append("  (no frame)")
+            else:
+                lines.extend(
+                    "  " + ln
+                    for entry in traceback.format_stack(frame)
+                    for ln in entry.rstrip().splitlines()
+                )
+        return "\n".join(lines)
+
+    def _hung_error(self, timeout: float, threads: list[threading.Thread]) -> SimulationHungError:
+        core_clocks = [
+            {
+                "core": ct.core_id,
+                "state": ct.state.value if hasattr(ct.state, "value") else str(ct.state),
+                "local": ct.local_time,
+                "max_local": ct.max_local_time,
+                "inq": len(ct.inq),
+                "outq": len(ct.outq),
+            }
+            for ct in self.cores
+        ]
+        return SimulationHungError(
+            timeout, self.manager.global_time, core_clocks, self._dump_stacks(threads)
+        )
+
     # ------------------------------------------------------------------- run
-    def run(self, timeout: float = 120.0) -> SimulationResult:
+    def run(self, timeout: float | None = None) -> SimulationResult:
         """Run to completion on real threads; returns a SimulationResult
-        whose host_time is measured wall-clock (GIL-bound, nondeterministic)."""
+        whose host_time is measured wall-clock (GIL-bound, nondeterministic).
+
+        *timeout* is the **watchdog window** (default: the run's
+        ``SimConfig.host_timeout``): the run aborts with
+        :class:`SimulationHungError` only after that many seconds with *no
+        simulation progress* — total wall time is unbounded while clocks
+        advance, so slow machines don't kill healthy long runs.
+        """
+        if timeout is None:
+            timeout = self.sim.host_timeout
         threads = [
             threading.Thread(target=self._core_thread_body, args=(i,), name=f"core-{i}", daemon=True)
             for i in range(len(self.cores))
@@ -155,10 +250,26 @@ class ThreadedEngine(SequentialEngine):
         for t in threads:
             t.start()
         manager.start()
-        manager.join(timeout)
-        if manager.is_alive():
-            self._stop.set()
-            raise EngineError(f"threaded run exceeded {timeout}s (deadlock or overload)")
+        # Progress-based watchdog: poll in short joins; reset the deadline
+        # whenever any clock moved, abort (with stacks) when none did for a
+        # full window.
+        poll = min(0.2, timeout / 4) if timeout > 0 else 0.2
+        last_marker = self._progress_marker()
+        deadline = time.perf_counter() + timeout
+        while True:
+            manager.join(poll)
+            if not manager.is_alive():
+                break
+            marker = self._progress_marker()
+            if marker != last_marker:
+                last_marker = marker
+                deadline = time.perf_counter() + timeout
+            elif time.perf_counter() >= deadline:
+                error = self._hung_error(timeout, [manager, *threads])
+                self._stop.set()
+                with self._window_cond:
+                    self._window_cond.notify_all()
+                raise error
         for t in threads:
             t.join(5.0)
         if self._error is not None:

@@ -47,6 +47,16 @@ class TargetMemory:
         self._words = array("q", bytes(size_bytes))
         self._floats = memoryview(self._words).cast("B").cast("d")
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        # The float view aliases _words' buffer and cannot be pickled;
+        # __setstate__ re-derives it, so only the words array travels.
+        return (self.size, self.nwords, self._words)
+
+    def __setstate__(self, state) -> None:
+        self.size, self.nwords, self._words = state
+        self._floats = memoryview(self._words).cast("B").cast("d")
+
     def _index(self, addr: int) -> int:
         if addr & 7:
             raise TargetFault(f"misaligned word access at {addr:#x}")

@@ -102,6 +102,30 @@ class InOrderCore:
         self._release_ts: int | None = None
         self._ifetch_ok_pc = -1  # pc whose I-fetch already completed
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        # The predecoded dispatch tables are per-PC *closures* — unpicklable
+        # and derived purely from the program, so checkpoints drop them and
+        # __setstate__ re-derives via the program-memoised predecode pass.
+        state = dict(self.__dict__)
+        predecoded = state.pop("_kinds", None) is not None
+        for key in ("_runs", "_eas", "_latencies"):
+            state.pop(key, None)
+        state["_pickle_predecoded"] = predecoded
+        return state
+
+    def __setstate__(self, state) -> None:
+        predecoded = state.pop("_pickle_predecoded")
+        self.__dict__.update(state)
+        if predecoded:
+            pre = predecode_program(self.program)
+            self._kinds = pre.kinds
+            self._runs = pre.runs
+            self._eas = pre.eas
+            self._latencies = pre.latencies
+        else:
+            self._kinds = None
+
     # ------------------------------------------------------------ lifecycle
     def activate(self, pc: int, arg: int, ts: int) -> None:
         if self.phase not in (CorePhase.IDLE, CorePhase.HALTED):

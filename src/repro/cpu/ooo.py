@@ -143,6 +143,27 @@ class OoOCore:
         self._release_ts: int | None = None
         self._halt_pending = False
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        # As in InOrderCore: the predecoded per-PC closures are dropped and
+        # re-derived from the (pickled) program on restore.
+        state = dict(self.__dict__)
+        predecoded = state.pop("_runs", None) is not None
+        state.pop("_eas", None)
+        state["_pickle_predecoded"] = predecoded
+        return state
+
+    def __setstate__(self, state) -> None:
+        predecoded = state.pop("_pickle_predecoded")
+        self.__dict__.update(state)
+        if predecoded:
+            pre = predecode_program(self.program)
+            self._runs = pre.runs
+            self._eas = pre.eas
+        else:
+            self._runs = None
+            self._eas = None
+
     # ------------------------------------------------------------ lifecycle
     def bind_context(self, state: ArchState) -> None:
         self.state = state

@@ -17,15 +17,30 @@ whatever the job count** (``--jobs 1`` serial in-process vs ``--jobs N``):
 Workers warm the on-disk compile cache (:mod:`repro.lang.compiler`), so N
 workers compiling the same benchmark pay one compile between them (first
 writer wins; the rest hit the cache).
+
+**Resumable sweeps** (DESIGN.md §8): with ``manifest_dir`` set, every
+finished point is written atomically to its own manifest file, and
+``resume=True`` reloads finished points instead of re-running them.  Because
+each point's metric document is a pure function of its spec, a resumed sweep
+renders **byte-identically** to an uninterrupted one — a killed sweep loses
+at most the in-flight points.  Crashed workers (a died process takes the
+whole ``ProcessPoolExecutor`` down) are retried with a fresh pool and
+exponential backoff, bounded by ``max_retries`` per point; genuine point
+errors (a failed simulation) propagate immediately, they are never retried.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
+from repro._util import atomic_write_text
 from repro.core.config import HostConfig, SimConfig, TargetConfig
 from repro.core.engine import SequentialEngine
 from repro.experiments.common import BENCHMARKS, HOST_COUNTS, SCHEMES, default_scale
@@ -33,13 +48,19 @@ from repro.experiments.common import BENCHMARKS, HOST_COUNTS, SCHEMES, default_s
 __all__ = [
     "PointSpec",
     "SWEEP_EXPERIMENTS",
+    "SweepError",
     "build_points",
     "derive_seed",
+    "manifest_path",
     "point_key",
     "run_point",
     "run_sweep",
     "sweep_to_json",
 ]
+
+
+class SweepError(RuntimeError):
+    """A sweep could not finish (worker crashes exceeded the retry budget)."""
 
 #: Slack bounds of the ablation (A1) sweep grid.
 ABLATION_SLACKS = (1, 4, 9, 25, 100, 400)
@@ -91,6 +112,7 @@ def run_point(spec: PointSpec) -> dict:
     Module-level (picklable) so ProcessPoolExecutor can ship it to workers;
     also the serial path, so jobs=1 and jobs=N run the identical code.
     """
+    _maybe_crash(spec)
     from repro.workloads.registry import make_workload
 
     workload = make_workload(spec.workload, scale=spec.scale)
@@ -127,6 +149,57 @@ def run_point(spec: PointSpec) -> dict:
         "stats": stats,
         "stats_digest": result.stats_sha256,
     }
+
+
+def _maybe_crash(spec: PointSpec) -> None:
+    """Worker-crash fault injection (the sweep-level sibling of
+    :mod:`repro.faults`): if ``REPRO_SWEEP_CRASH_POINT`` names this point's
+    key and the ``REPRO_SWEEP_CRASH_ONCE`` marker file does not exist yet,
+    create the marker and die without cleanup — exactly what a segfaulting
+    or OOM-killed worker looks like to the parent pool.  Used by the
+    kill-and-resume tests and the CI resilience job; inert in normal runs.
+    """
+    target = os.environ.get("REPRO_SWEEP_CRASH_POINT")
+    if not target or target != point_key(spec):
+        return
+    marker = os.environ.get("REPRO_SWEEP_CRASH_ONCE")
+    if marker:
+        if os.path.exists(marker):
+            return  # already crashed once; behave this time
+        open(marker, "w").close()
+    os._exit(13)
+
+
+# -------------------------------------------------------------- manifests
+def manifest_path(manifest_dir: str | Path, spec: PointSpec) -> Path:
+    """Where *spec*'s finished-point manifest lives under *manifest_dir*."""
+    return Path(manifest_dir) / (point_key(spec).replace("/", "_") + ".json")
+
+
+def _load_manifest(path: Path, spec: PointSpec) -> dict | None:
+    """A finished point's document, or None if absent/corrupt/stale.
+
+    A manifest only counts when its embedded spec matches the current grid
+    point exactly — a sweep resumed after changing seeds or scale silently
+    re-runs everything rather than mixing configurations.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("spec") != asdict(spec):
+        return None
+    return doc
+
+
+def _store_manifest(manifest_dir: str | Path, spec: PointSpec, result: dict) -> None:
+    # Atomic (temp + rename): a sweep killed mid-write leaves either the old
+    # manifest or none — never a torn file that a resume would half-trust.
+    atomic_write_text(
+        str(manifest_path(manifest_dir, spec)),
+        json.dumps(result, indent=2, sort_keys=True) + "\n",
+    )
 
 
 # ----------------------------------------------------------------- grids
@@ -235,31 +308,124 @@ def _derive_metrics(experiment: str, merged: dict) -> dict:
 
 
 # --------------------------------------------------------------- top level
+def _run_points_parallel(
+    specs: list[PointSpec],
+    todo: list[int],
+    results: dict[int, dict],
+    *,
+    jobs: int,
+    manifest_dir: str | Path | None,
+    max_retries: int,
+    point_timeout: float | None,
+) -> None:
+    """Futures-based scheduler with crash recovery.
+
+    One worker dying (segfault, OOM kill) poisons the whole
+    ``ProcessPoolExecutor`` — every outstanding future raises
+    :class:`BrokenProcessPool`.  Finished points are already harvested (and
+    manifested), so recovery is: discard the pool, wait out an exponential
+    backoff, and resubmit only the unfinished points, at most *max_retries*
+    extra attempts per point.  A stall — *point_timeout* seconds with no
+    completion at all — is treated the same way.  Exceptions **raised by a
+    point** (simulation error, output mismatch) are real failures and
+    propagate on first occurrence.
+    """
+    attempts = dict.fromkeys(todo, 0)
+    backoff = 0.5
+    while todo:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+        futures = {executor.submit(run_point, specs[i]): i for i in todo}
+        crashed = False
+        try:
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, timeout=point_timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    crashed = True  # nothing finished for a whole window
+                    break
+                for future in done:
+                    index = futures[future]
+                    result = future.result()  # point errors propagate here
+                    results[index] = result
+                    if manifest_dir is not None:
+                        _store_manifest(manifest_dir, specs[index], result)
+        except BrokenProcessPool:
+            crashed = True
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        todo = [i for i in todo if i not in results]
+        if not todo:
+            return
+        if not crashed:  # defensive: wait() drained without finishing
+            crashed = True
+        for index in todo:
+            attempts[index] += 1
+            if attempts[index] > max_retries:
+                raise SweepError(
+                    f"point {point_key(specs[index])} lost its worker "
+                    f"{attempts[index]} times (max_retries={max_retries})"
+                )
+        time.sleep(backoff)
+        backoff = min(backoff * 2, 8.0)
+
+
 def run_sweep(
     experiment: str,
     *,
     jobs: int = 1,
     scale: str | None = None,
     base_seed: int = 1,
+    manifest_dir: str | Path | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    point_timeout: float | None = None,
     **kwargs,
 ) -> dict:
     """Run a full experiment sweep, sharded over *jobs* processes.
 
     ``jobs <= 1`` runs every point serially in-process; either way the
     returned document is identical (see the module docstring for why).
+
+    With *manifest_dir*, each finished point is persisted atomically;
+    ``resume=True`` then skips points whose manifest matches the grid, so a
+    killed sweep restarts from where it died — and still renders the same
+    bytes as an uninterrupted run.
     """
+    if resume and manifest_dir is None:
+        raise ValueError("resume=True requires manifest_dir")
     scale = scale or default_scale()
     specs = build_points(experiment, scale, base_seed, **kwargs)
+    if manifest_dir is not None:
+        Path(manifest_dir).mkdir(parents=True, exist_ok=True)
+
+    results: dict[int, dict] = {}
+    todo: list[int] = []
+    for i, spec in enumerate(specs):
+        if resume:
+            assert manifest_dir is not None
+            doc = _load_manifest(manifest_path(manifest_dir, spec), spec)
+            if doc is not None:
+                results[i] = doc
+                continue
+        todo.append(i)
+
     if jobs <= 1:
-        results = [run_point(spec) for spec in specs]
+        for i in todo:
+            results[i] = run_point(specs[i])
+            if manifest_dir is not None:
+                _store_manifest(manifest_dir, specs[i], results[i])
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            # map() preserves input order; chunksize=1 so long points do not
-            # convoy short ones on the same worker.
-            results = list(executor.map(run_point, specs, chunksize=1))
+        _run_points_parallel(
+            specs, todo, results,
+            jobs=jobs, manifest_dir=manifest_dir,
+            max_retries=max_retries, point_timeout=point_timeout,
+        )
+
     merged = dict(
         sorted(
-            ((point_key(spec), result) for spec, result in zip(specs, results)),
+            ((point_key(spec), results[i]) for i, spec in enumerate(specs)),
             key=lambda item: item[0],
         )
     )

@@ -43,6 +43,14 @@ class Program:
         if len(self.data) % 8:
             raise ValueError("data segment must be a multiple of 8 bytes")
 
+    def __getstate__(self):
+        # predecode_program memoises its closure tables on the instance
+        # (``_predecoded``); closures don't pickle and are cheap to re-derive,
+        # so checkpoints carry only the declared fields.
+        state = dict(self.__dict__)
+        state.pop("_predecoded", None)
+        return state
+
     @property
     def text_end(self) -> int:
         """First address past the text segment."""

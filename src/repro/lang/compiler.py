@@ -21,10 +21,10 @@ import hashlib
 import os
 import pickle
 import sys
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro._util import atomic_write_bytes
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.lang.ast_nodes import Unit
@@ -120,15 +120,7 @@ def _cache_load(path: Path) -> CompiledProgram | None:
 
 def _cache_store(path: Path, compiled: CompiledProgram) -> None:
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(compiled, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            os.unlink(tmp)
-            raise
+        atomic_write_bytes(path, pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
         pass  # caching is best-effort: read-only dirs etc. never break compiles
 

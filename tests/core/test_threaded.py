@@ -197,3 +197,48 @@ def test_stress_output_matches_sequential(scheme):
     )
     thr = run_threaded(prog, scheme, seed=2)
     assert seq.int_output() == thr.int_output() == [BARRIER_STORM_EXPECT]
+
+
+# ------------------------------------------------------------------ watchdog
+def test_watchdog_aborts_hung_run_with_diagnostics():
+    """A frozen manager (global time pinned, no window raises) starves every
+    core; the progress watchdog must abort with per-core clock state and
+    thread stacks instead of hanging until a wall-clock cap."""
+    from repro.core.manager import ManagerStepResult
+    from repro.core.threaded import SimulationHungError
+
+    prog = compile_source(COUNTER_SRC).program
+    engine = ThreadedEngine(
+        prog,
+        target=SMALL_TARGET,
+        host=HostConfig(num_cores=4),
+        sim=SimConfig(scheme="cc", host_timeout=0.5),
+    )
+    engine.manager.step = lambda: ManagerStepResult()  # type: ignore[method-assign]
+    with pytest.raises(SimulationHungError) as excinfo:
+        engine.run()  # watchdog window comes from SimConfig.host_timeout
+    err = excinfo.value
+    assert err.timeout == 0.5
+    assert err.global_time == 0
+    assert len(err.core_clocks) == 4
+    assert all(
+        set(c) == {"core", "state", "local", "max_local", "inq", "outq"}
+        for c in err.core_clocks
+    )
+    assert "manager" in err.stacks and "core-0" in err.stacks
+    assert "no progress" in str(err) and "thread stacks" in str(err)
+
+
+def test_watchdog_window_passes_healthy_runs():
+    """The window bounds *stall* time, not total time: a progressing run
+    with a window far shorter than its full runtime still completes."""
+    prog = compile_source(COUNTER_SRC).program
+    engine = ThreadedEngine(
+        prog,
+        target=SMALL_TARGET,
+        host=HostConfig(num_cores=4),
+        sim=SimConfig(scheme="q10", host_timeout=10.0),
+    )
+    r = engine.run()  # no explicit timeout: SimConfig.host_timeout applies
+    assert r.completed
+    assert r.int_output() == [40]

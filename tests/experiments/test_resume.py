@@ -1,0 +1,130 @@
+"""Resumable-sweep tests: manifests, kill-and-resume, crash retry.
+
+The contract (module docstring of :mod:`repro.experiments.parallel`): a
+sweep that loses workers or is killed and resumed renders **byte-identical**
+JSON to one uninterrupted run, because every finished point's document is a
+pure function of its spec and is persisted atomically.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.parallel import (
+    SweepError,
+    build_points,
+    manifest_path,
+    point_key,
+    run_point,
+    run_sweep,
+    sweep_to_json,
+)
+
+EXPERIMENT = "ablations"
+SCALE = "tiny"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One uninterrupted serial sweep: the bytes every variant must match."""
+    return sweep_to_json(run_sweep(EXPERIMENT, jobs=1, scale=SCALE))
+
+
+def test_manifests_written_per_point(tmp_path, baseline):
+    mdir = tmp_path / "manifests"
+    payload = run_sweep(EXPERIMENT, jobs=1, scale=SCALE, manifest_dir=mdir)
+    assert sweep_to_json(payload) == baseline
+    specs = build_points(EXPERIMENT, SCALE, 1)
+    for spec in specs:
+        path = manifest_path(mdir, spec)
+        assert path.exists(), f"no manifest for {point_key(spec)}"
+        doc = json.loads(path.read_text())
+        assert doc == payload["points"][point_key(spec)]
+
+
+def test_resume_skips_finished_points(tmp_path, baseline):
+    """Prefill all but two manifests, then resume: only the missing points
+    run, and the rendered sweep is byte-identical to the uninterrupted one."""
+    mdir = tmp_path / "manifests"
+    full = run_sweep(EXPERIMENT, jobs=1, scale=SCALE, manifest_dir=mdir)
+    specs = build_points(EXPERIMENT, SCALE, 1)
+    removed = specs[1], specs[-1]
+    for spec in removed:
+        manifest_path(mdir, spec).unlink()
+
+    resumed = run_sweep(
+        EXPERIMENT, jobs=1, scale=SCALE, manifest_dir=mdir, resume=True
+    )
+    assert sweep_to_json(resumed) == sweep_to_json(full) == baseline
+    for spec in removed:  # the re-run points re-manifested
+        assert manifest_path(mdir, spec).exists()
+
+
+def test_resume_distrusts_stale_and_torn_manifests(tmp_path, baseline):
+    """A manifest from a different grid (other seed) or a torn write must be
+    re-run, not trusted."""
+    mdir = tmp_path / "manifests"
+    run_sweep(EXPERIMENT, jobs=1, scale=SCALE, manifest_dir=mdir)
+    specs = build_points(EXPERIMENT, SCALE, 1)
+    stale = json.loads(manifest_path(mdir, specs[0]).read_text())
+    stale["spec"]["seed"] += 1  # pretend it came from another base seed
+    stale["instructions"] = -1
+    manifest_path(mdir, specs[0]).write_text(json.dumps(stale))
+    manifest_path(mdir, specs[1]).write_text('{"spec": {"workl')  # torn
+
+    resumed = run_sweep(
+        EXPERIMENT, jobs=1, scale=SCALE, manifest_dir=mdir, resume=True
+    )
+    assert sweep_to_json(resumed) == baseline
+
+
+def test_resume_without_manifest_dir_rejected():
+    with pytest.raises(ValueError, match="manifest_dir"):
+        run_sweep(EXPERIMENT, jobs=1, scale=SCALE, resume=True)
+
+
+def test_crash_injection_is_inert_without_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SWEEP_CRASH_POINT", raising=False)
+    spec = build_points(EXPERIMENT, SCALE, 1)[0]
+    assert run_point(spec)["completed"]
+
+
+def test_kill_one_worker_then_recover(tmp_path, monkeypatch, baseline):
+    """A worker that dies mid-sweep (os._exit, no cleanup — the pool sees a
+    BrokenProcessPool) is retried with a fresh pool; the sweep completes and
+    its bytes match the uninterrupted baseline."""
+    victim = point_key(build_points(EXPERIMENT, SCALE, 1)[2])
+    marker = tmp_path / "crashed-once"
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_POINT", victim)
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_ONCE", str(marker))
+
+    payload = run_sweep(
+        EXPERIMENT, jobs=2, scale=SCALE,
+        manifest_dir=tmp_path / "manifests", max_retries=2,
+    )
+    assert marker.exists(), "the injected crash never fired"
+    assert sweep_to_json(payload) == baseline
+
+
+def test_kill_then_separate_resume_run(tmp_path, monkeypatch, baseline):
+    """The CI kill-and-resume shape: sweep #1 dies (a point's worker always
+    crashes, retries exhausted), sweep #2 with --resume finishes from the
+    manifests — byte-identical to the uninterrupted baseline."""
+    victim = point_key(build_points(EXPERIMENT, SCALE, 1)[2])
+    mdir = tmp_path / "manifests"
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_POINT", victim)
+    # No CRASH_ONCE marker: the point crashes every attempt -> SweepError.
+    with pytest.raises(SweepError, match="lost its worker"):
+        run_sweep(
+            EXPERIMENT, jobs=2, scale=SCALE,
+            manifest_dir=mdir, max_retries=1,
+        )
+    survivors = [p for p in os.listdir(mdir) if p.endswith(".json")]
+    assert survivors, "no point finished before the sweep died"
+
+    monkeypatch.delenv("REPRO_SWEEP_CRASH_POINT")
+    resumed = run_sweep(
+        EXPERIMENT, jobs=2, scale=SCALE, manifest_dir=mdir, resume=True
+    )
+    assert sweep_to_json(resumed) == baseline

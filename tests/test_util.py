@@ -1,0 +1,45 @@
+"""Tests for the crash-safe write primitive every artifact producer shares
+(compile cache, stats dumps, sweep manifests, checkpoints)."""
+
+import os
+
+import pytest
+
+from repro._util import atomic_write_bytes, atomic_write_text
+
+
+def test_writes_new_file_and_creates_parents(tmp_path):
+    path = tmp_path / "a" / "b" / "out.bin"
+    atomic_write_bytes(path, b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+
+
+def test_replaces_existing_content_wholesale(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_text(path, "old " * 1000)
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+
+
+def test_no_tempfile_left_behind(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "hello")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_failed_write_keeps_old_content_and_cleans_up(tmp_path):
+    """A crash mid-write (here: encoding error before any bytes land) leaves
+    the published file untouched and no orphan tempfile."""
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "original")
+    with pytest.raises(UnicodeEncodeError):
+        atomic_write_text(path, "\udc80 unpaired surrogate")
+    assert path.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_accepts_str_and_pathlike(tmp_path):
+    atomic_write_text(str(tmp_path / "s.txt"), "via str")
+    atomic_write_text(tmp_path / "p.txt", "via Path")
+    assert (tmp_path / "s.txt").read_text() == "via str"
+    assert (tmp_path / "p.txt").read_text() == "via Path"

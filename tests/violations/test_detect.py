@@ -91,3 +91,78 @@ class TestWordOrderTracker:
         # A later load at 12 sees the store in its past: no new violation.
         t.observe_load(0x200, core=0, ts=12)
         assert c.workload_state == 1  # only the original one
+
+
+class TestWordOrderEdgeCases:
+    """Boundary semantics of the Figure 7 detector: ties, multi-core
+    interleavings, and the fast-forward landing point."""
+
+    def test_same_timestamp_store_after_load_is_a_violation(self):
+        """A cross-core store processed at the *same* simulated cycle as an
+        already-performed load conflicts: the load provably read the old
+        value, so ties count (``>=`` in observe_store)."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_load(0x400, core=0, ts=25)
+        t.observe_store(0x400, core=1, ts=25)
+        assert c.workload_state == 1
+
+    def test_same_timestamp_load_after_store_is_clean(self):
+        """The symmetric tie is *not* a violation: a load at the store's own
+        cycle observing the new value is a legal same-cycle outcome, so the
+        load check is strict (``>`` in observe_load)."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_store(0x400, core=1, ts=25)
+        t.observe_load(0x400, core=0, ts=25)
+        assert c.workload_state == 0
+
+    def test_fastforward_lands_strictly_past_the_load(self):
+        """§3.2.3 compensation must end *after* the conflicting load — a
+        store fast-forwarded exactly onto the load's cycle would still tie
+        with it, so even a same-cycle conflict forwards by one."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c, fastforward=True)
+        t.observe_load(0x500, core=0, ts=30)
+        ff = t.observe_store(0x500, core=1, ts=30)
+        assert ff == 1  # lands at 31, one past the load
+        # The recorded store time includes the fast-forward: a re-load at
+        # the adjusted cycle ties with the store and stays clean.
+        t.observe_load(0x500, core=0, ts=31)
+        assert c.workload_state == 1  # only the store's original conflict
+
+    def test_three_core_interleaving_checks_against_latest_load(self):
+        """Loads from several cores: the detector keeps the *latest* load
+        per word, so a store conflicts iff it precedes that frontier —
+        regardless of which core set it."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_load(0x600, core=0, ts=40)
+        t.observe_load(0x600, core=2, ts=15)  # earlier: frontier stays at 40
+        t.observe_store(0x600, core=1, ts=20)  # past core 0's load -> race
+        assert c.workload_state == 1
+        # A second store by yet another core, after the frontier: clean.
+        t.observe_store(0x600, core=2, ts=41)
+        assert c.workload_state == 1
+
+    def test_store_frontier_is_latest_not_last_observed(self):
+        """Stores arriving out of simulated order: the kept frontier is the
+        max timestamp, so a load between the two store times races with the
+        *later* store only."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_store(0x700, core=1, ts=50)
+        t.observe_store(0x700, core=2, ts=10)  # late-processed early store
+        t.observe_load(0x700, core=0, ts=30)   # future value from ts=50 store
+        assert c.workload_state == 1
+
+    def test_storing_core_own_frontier_does_not_self_conflict(self):
+        """A core racing with *its own* earlier accesses is program order on
+        that core, never a violation — even interleaved with other cores'
+        clean accesses on the same word."""
+        c = ViolationCounters()
+        t = WordOrderTracker(c)
+        t.observe_load(0x800, core=1, ts=60)
+        t.observe_store(0x800, core=1, ts=55)  # same core: clean
+        t.observe_load(0x800, core=0, ts=70)   # other core, after: clean
+        assert c.workload_state == 0
