@@ -33,12 +33,12 @@ def perf():
         print(f"\n[perf record written to {recorder.write(BENCH_JSON)}]")
 
 
-def _engine_run(scheme):
+def _engine_run(scheme, scheduling="dynamic"):
     return run_simulation(
         None,
         trace_cores=sharing_workload(4, 20, seed=1),
         host=HostConfig(num_cores=4),
-        sim=SimConfig(scheme=scheme, seed=1),
+        sim=SimConfig(scheme=scheme, seed=1, scheduling=scheduling),
         target=TargetConfig(num_cores=4, core_model="trace"),
     )
 
@@ -64,6 +64,26 @@ def test_engine_cycle_rate_cc(benchmark, perf):
     # (machine-independent, unlike the throughputs).
     perf.record(
         "engine_cycle_rate_cc",
+        seconds=benchmark.stats.stats.mean,
+        work=result.stats["target.execution_cycles"],
+        work_unit="cycles",
+        extra={"stats_digest": result.stats_sha256},
+    )
+
+
+def test_engine_cycle_rate_cc_static(benchmark, perf):
+    """cc under static bulk-synchronous window scheduling (DESIGN.md §9).
+
+    Same simulation as ``test_engine_cycle_rate_cc`` with per-turn manager
+    dispatch hoisted to window edges; the pinned ``stats_digest`` in
+    BASELINES.json is byte-identical to the dynamic cc pin — the speedup is
+    pure host-side scheduling.
+    """
+    result = benchmark(lambda: _engine_run("cc", scheduling="static"))
+    assert result.completed
+    assert result.stats["engine.scheduling"] == "static"
+    perf.record(
+        "engine_cycle_rate_cc_static",
         seconds=benchmark.stats.stats.mean,
         work=result.stats["target.execution_cycles"],
         work_unit="cycles",

@@ -122,9 +122,18 @@ def main(argv: list[str]) -> int:
                 print(f"  DIGEST   {name}: stats_digest {actual_digest} "
                       f"!= pinned {pinned_digest}")
                 failed = True
+    # The gate must be total in both directions: a bench result with no
+    # pinned baseline would otherwise pass silently forever — a new (or
+    # renamed) benchmark escapes the regression net until someone notices.
+    for name in sorted(bench["benchmarks"]):
+        entry = bench["benchmarks"][name]
+        if "throughput" in entry and name not in base["benchmarks"]:
+            print(f"  UNPINNED {name}: present in {BENCH_PATH.name} but not in "
+                  f"{BASELINES_PATH.name} — pin it with --update")
+            failed = True
     if failed:
         print(f"FAIL: throughput regressed more than {THRESHOLD:.0%} "
-              "(or benchmarks missing)")
+              "(or benchmarks missing/unpinned)")
         return 1
     print("bench smoke: no regression")
     return 0

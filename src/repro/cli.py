@@ -54,6 +54,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sim=SimConfig(
             scheme=args.scheme,
             seed=args.seed,
+            scheduling="static" if args.static_schedule else "dynamic",
             fastforward=args.fastforward,
             stats_interval=args.stats_interval,
             fault_plan=args.faults,
@@ -230,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="tiny", help="tiny | small | paper")
     run.add_argument("--core-model", default="inorder", help="inorder | ooo")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--static-schedule", action="store_true",
+                     help="plan barrier windows as bulk-synchronous supersteps "
+                     "(digest-identical; falls back to the dynamic loop where "
+                     "static scheduling cannot engage, e.g. non-barrier schemes)")
     run.add_argument("--fastforward", action="store_true")
     run.add_argument("--verbose", "-v", action="store_true")
     run.add_argument("--stats-out", help="write the run's stats registry dump here")

@@ -101,6 +101,14 @@ class SimConfig:
     #: protocol; "single" runs the identical turn structure one model.step
     #: per cycle (the equivalence oracle for the golden tests).
     stepping: str = "batched"
+    #: Window scheduling: "dynamic" interleaves core/manager turns through
+    #: the virtual host's priority queue (the paper's futex-style engine);
+    #: "static" plans each barrier window as one bulk-synchronous superstep
+    #: (repro.core.schedule) — all per-cycle manager dispatch is hoisted to
+    #: window edges.  Static engages only where it is provably
+    #: digest-identical to dynamic (barrier-policy schemes, trace cores);
+    #: everywhere else it falls back to the dynamic loop (DESIGN.md §9).
+    scheduling: str = "dynamic"
     #: Execution layer: "predecoded" runs per-PC specialized closures
     #: (repro.cpu.predecode); "oracle" runs funcsim.execute dict dispatch.
     #: Both produce bit-identical architectural trajectories (the

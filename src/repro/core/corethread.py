@@ -167,6 +167,12 @@ class CoreThread:
         outq_q = self.outq._q
         out_before = len(outq_q)
         wait_rem = wait_chunk
+        # Timing-superblock fast path (in-order predecoded cores): a block
+        # replaces a run of per-cycle steps with one compiled call.  Cycle
+        # totals, commit counts and event moments are identical by
+        # construction, so ``single=True`` (the per-cycle oracle) disables
+        # it without changing any observable.
+        block_step = None if single else getattr(model, "block_step", None)
         while (
             self.state == CoreState.ACTIVE
             and stats.cycles < budget
@@ -179,6 +185,27 @@ class CoreThread:
                 self._route_due_events(stats)
             ws = model.wait_state(self.local_time)
             if ws is None:
+                if block_step is not None:
+                    # Cap the block at the first cycle the outside world
+                    # could touch: budget, window edge, next queued event.
+                    limit = min(
+                        self.max_local_time,
+                        self.local_time + (budget - stats.cycles),
+                    )
+                    if inq_heap is not None:
+                        if inq_heap and inq_heap[0][0] < limit:
+                            limit = inq_heap[0][0]
+                    else:
+                        next_in = inq.peek_ts()
+                        if next_in is not None and next_in < limit:
+                            limit = next_in
+                    n = block_step(self.local_time, limit - self.local_time)
+                    if n:
+                        stats.committed += n
+                        stats.active_cycles += n
+                        stats.cycles += n
+                        self.local_time += n
+                        continue
                 # The model wants a real step: it may commit, emit events,
                 # block, or halt this cycle.
                 committed, active = model.step(self.local_time)

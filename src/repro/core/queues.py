@@ -81,17 +81,27 @@ class InQ:
 
 
 class GlobalQueue:
-    """The manager's consolidated request queue."""
+    """The manager's consolidated request queue.
+
+    Timestamp-order pops break same-``ts`` ties by ``(core, seq)`` rather
+    than bare creation order: two requests stamped with the same target
+    cycle are serviced in core-id order no matter which core thread the
+    host happened to run first.  Creation order is a *host* artifact — it
+    differs between the dynamic engine's jitter-dependent turn order and
+    the static bulk-synchronous schedule — while (ts, core, within-core
+    order) is a pure function of the simulated target, which is what makes
+    the two schedulers bit-identical (DESIGN.md §9).
+    """
 
     __slots__ = ("_fifo", "_heap")
 
     def __init__(self) -> None:
         self._fifo: deque[Event] = deque()
-        self._heap: list[tuple[int, int, Event]] = []
+        self._heap: list[tuple[int, int, int, Event]] = []
 
     def push(self, event: Event) -> None:
         self._fifo.append(event)
-        heapq.heappush(self._heap, (event.ts, event.seq, event))
+        heapq.heappush(self._heap, (event.ts, event.core, event.seq, event))
 
     def pop_fifo(self) -> Event | None:
         """Arrival-order pop (original bounded slack: 'no such constraint')."""
@@ -107,7 +117,7 @@ class GlobalQueue:
         schemes: process the oldest request only once global time reaches it)."""
         heap = self._heap
         while heap and heap[0][0] <= max_ts:
-            event = heapq.heappop(heap)[2]
+            event = heapq.heappop(heap)[3]
             if not event.consumed:
                 event.consumed = True
                 return event
@@ -116,7 +126,7 @@ class GlobalQueue:
     def oldest_ts(self) -> int | None:
         """Timestamp of the oldest unconsumed request (lookahead bound)."""
         heap = self._heap
-        while heap and heap[0][2].consumed:
+        while heap and heap[0][3].consumed:
             heapq.heappop(heap)
         return heap[0][0] if heap else None
 

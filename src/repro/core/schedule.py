@@ -1,0 +1,161 @@
+"""Static bulk-synchronous window schedule planner (DESIGN.md §9).
+
+The dynamic engine makes a per-turn decision for every core and manager
+step: who runs next is decided by a priority queue of modeled host-ready
+times, and the manager polls between core turns waiting for the window
+barrier to fill.  Under a barrier-policy scheme (cc / qN) that machinery
+answers a question with a statically known answer: *nothing* can cross
+between cores inside a window — the manager services the GQ only once every
+active core has reached the window edge, so each core's maximal batch is
+simply its remaining distance to the edge, cut only by engine-local limits.
+
+This module derives that schedule ahead of execution.  ``plan_window``
+produces, at window start, one :class:`CorePlan` per active core: the batch
+sequence the core will run before its next *possible* cross-core
+interaction point (the window edge).  Batches are cut short by exactly
+three things (the invariants the property tests pin):
+
+* the window edge itself — a batch never crosses ``edge``;
+* the engine turn cap (``turn_cycles``/``batch_cycles``) — the de-facto
+  concurrency granule, identical to the dynamic loop's clamp;
+* the ``max_cycles`` runaway net — the budget may exceed it by at most one
+  cycle so the engine's runaway guard still fires.
+
+Execution may *consume less* than a planned batch (a core blocked on an
+external response burns its ``wait_chunk`` allowance and yields); the
+engine then re-cuts the remainder with :func:`split_batches` from the live
+local time, which reproduces the dynamic loop's per-turn budget
+recomputation bit for bit.
+
+``static_unsupported_reason`` is the gate: static scheduling engages only
+where the bulk-synchronous order is provably digest-identical to the
+dynamic interleaving.  Everywhere else the engine silently keeps the
+dynamic loop — the planner degenerating to "every cycle is a possible
+interaction point" is still a correct (just worthless) schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schemes import Scheme
+
+__all__ = [
+    "CorePlan",
+    "split_batches",
+    "plan_window",
+    "static_unsupported_reason",
+]
+
+
+@dataclass(frozen=True)
+class CorePlan:
+    """The static schedule for one core over one barrier window."""
+
+    core_id: int
+    #: Local time at window start.
+    start: int
+    #: The window edge (``max_local_time``): first cycle the core may NOT
+    #: simulate — its next possible cross-core interaction point.
+    edge: int
+    #: Planned batch budgets.  Invariants: every batch is positive, no
+    #: batch crosses ``edge``, and they sum to exactly ``edge - start``
+    #: (clamped at the ``limit`` cycle when the runaway net intervenes).
+    batches: tuple[int, ...]
+
+    @property
+    def cycles(self) -> int:
+        return sum(self.batches)
+
+
+def split_batches(start: int, edge: int, turn_cap: int, limit: int | None = None) -> tuple[int, ...]:
+    """Cut ``[start, edge)`` into maximal batches of at most *turn_cap*.
+
+    *limit* is the ``max_cycles`` net: like the dynamic loop's budget, the
+    final batch may overrun it by one cycle (so the engine's runaway guard
+    observes the overrun) but never farther.  Mirrors
+    ``SequentialEngine._turn_budget`` under a barrier policy exactly: batch
+    k's size equals the dynamic budget a core at its start cycle would be
+    granted.
+    """
+    if edge <= start:
+        return ()
+    span = edge - start
+    if limit is not None:
+        net = limit + 1 - start
+        if net < span:
+            span = net
+        if span <= 0:
+            return (1,)  # dynamic floor: always grant one cycle
+    if turn_cap >= span:
+        return (span,)
+    full, rem = divmod(span, turn_cap)
+    batches = [turn_cap] * full
+    if rem:
+        batches.append(rem)
+    return tuple(batches)
+
+
+def plan_window(
+    cores: list[tuple[int, int, int]],
+    turn_cap: int,
+    limit: int | None = None,
+) -> list[CorePlan]:
+    """Plan one bulk-synchronous superstep.
+
+    *cores* is ``[(core_id, local_time, window_edge), ...]`` for the active
+    cores, in the order the superstep will run them (core-id order — the
+    same deterministic order the manager wakes suspended cores in).  Cores
+    already at their edge contribute an empty plan (they suspend without a
+    turn — only possible mid-restore).
+    """
+    return [
+        CorePlan(
+            core_id=cid,
+            start=local,
+            edge=edge,
+            batches=split_batches(local, edge, turn_cap, limit),
+        )
+        for cid, local, edge in cores
+    ]
+
+
+def static_unsupported_reason(
+    scheme: Scheme,
+    *,
+    has_system: bool,
+    has_probe: bool,
+    has_faults: bool,
+    max_instructions: int,
+) -> str | None:
+    """Why static scheduling cannot engage, or ``None`` when it can.
+
+    The static superstep runs each window's core turns in core-id order
+    instead of the dynamic loop's jitter-dependent host order, so it is
+    only used where that reordering is provably invisible in the stats
+    digest:
+
+    * the scheme must be barrier-policy without an ``adapt`` hook — only
+      there is the window edge a hard synchronization point with no
+      mid-window GQ servicing (sliding windows deliver events *between*
+      core turns, making the interleaving itself semantic);
+    * no system emulation — sysapi calls (locks, barriers, semaphores)
+      take effect in host arrival order at step time, which same-window
+      reordering would change;
+    * no per-manager-step probe (Figure 2 wants the dynamic loop's step
+      granularity) and no fault ticks (timed faults ride dynamic manager
+      steps);
+    * no ``max_instructions`` cut (a mid-window cut lands on a
+      turn-order-dependent core).
+    """
+    if scheme.gq_policy != "barrier" or getattr(scheme, "adapt", None) is not None:
+        return f"scheme {scheme.name} is not a pure barrier policy"
+    if has_system:
+        return "system emulation present (sysapi effects are host-order sensitive)"
+    if has_probe:
+        return "a per-manager-step probe is attached"
+    if has_faults:
+        return "fault injection rides dynamic manager steps"
+    if max_instructions:
+        return "max_instructions cuts mid-window at a turn-order-dependent point"
+    return None

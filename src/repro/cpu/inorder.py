@@ -19,7 +19,7 @@ from typing import Callable
 from repro.cpu.arch import ArchState, TargetMemory
 from repro.cpu.funcsim import NEXT, do_amo, do_load, do_store, effective_address, execute
 from repro.cpu.interfaces import WAIT_EXTERNAL, CorePhase
-from repro.cpu.predecode import K_ECALL, K_HALT, K_JUMP, predecode_program
+from repro.cpu.predecode import K_ECALL, K_HALT, K_JUMP, predecode_program, timing_blocks
 from repro.cpu.l1cache import MESI, AccessResult, L1Cache
 from repro.core.events import EvKind, Event
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
@@ -78,18 +78,27 @@ class InOrderCore:
         self.pending_wakes: list[tuple[int, int]] = []
 
         self._text = program.text
-        # Predecoded closure tables (timing cores use the per-instruction
-        # closures only — superblocks would hide per-cycle timing).
+        # Predecoded closure tables plus compiled timing superblocks: runs
+        # of latency-1 register-only instructions execute as one call via
+        # :meth:`block_step` (cycle-exact — see repro.cpu.predecode).  An
+        # I-cache disables blocks: every fetch must probe it individually.
         if dispatch == "predecoded":
             pre = predecode_program(program)
             self._kinds: list | None = pre.kinds
             self._runs = pre.runs
             self._eas = pre.eas
             self._latencies = pre.latencies
+            self._tblocks = timing_blocks(program) if l1i is None else None
         elif dispatch == "oracle":
             self._kinds = None
+            self._tblocks = None
         else:
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        if self._tblocks is None:
+            # Shadow the class method so CoreThread's hoisted
+            # ``getattr(model, "block_step", None)`` skips the fast path
+            # without a per-cycle gate.
+            self.block_step = None
         self._busy_until = -1
         self._pending: _PendingMem | None = None
         self._resp: Event | None = None
@@ -112,10 +121,12 @@ class InOrderCore:
         for key in ("_runs", "_eas", "_latencies"):
             state.pop(key, None)
         state["_pickle_predecoded"] = predecoded
+        state["_pickle_tblocks"] = state.pop("_tblocks", None) is not None
         return state
 
     def __setstate__(self, state) -> None:
         predecoded = state.pop("_pickle_predecoded")
+        tblocks = state.pop("_pickle_tblocks", False)
         self.__dict__.update(state)
         if predecoded:
             pre = predecode_program(self.program)
@@ -125,6 +136,7 @@ class InOrderCore:
             self._latencies = pre.latencies
         else:
             self._kinds = None
+        self._tblocks = timing_blocks(self.program) if tblocks else None
 
     # ------------------------------------------------------------ lifecycle
     def activate(self, pc: int, arg: int, ts: int) -> None:
@@ -209,6 +221,36 @@ class InOrderCore:
         """Account *n* wait cycles at once (≡ n wait ``step`` calls)."""
         if self._blocked or self._pending is not None:
             self.stall_cycles += n
+
+    def block_step(self, now: int, limit: int) -> int:
+        """Run one compiled timing superblock; returns cycles consumed.
+
+        0 means "no block applies here" and the caller falls back to the
+        per-instruction :meth:`step`.  Only legal on a cycle whose
+        :meth:`wait_state` is ``None``: the extra ``_pending``/``_blocked``
+        guard rejects the two non-fetch reasons for that (a response to
+        complete, a blocking syscall to finish).  *limit* is the largest
+        cycle count the caller can accept — blocks never cross the turn
+        budget, the window edge, or the next queued InQ event, so every
+        outside interaction lands on the same cycle as per-instruction
+        stepping (the dispatch-differential tests pin this).
+        """
+        if self._pending is not None or self._blocked:
+            return 0
+        tb = self._tblocks
+        state = self.state
+        pc = state.pc
+        index = (pc - TEXT_BASE) >> 3
+        if pc & 7 or not 0 <= index < tb.size:
+            return 0
+        n = tb.lens[index]
+        if n == 0 or n > limit:
+            return 0
+        state.pc = tb.runs[index](state.x, state.f)
+        self._busy_until = now + n - 1
+        self._ifetch_ok_pc = -1
+        self.committed += n
+        return n
 
     # ----------------------------------------------------------------- step
     def step(self, now: int) -> tuple[int, bool]:

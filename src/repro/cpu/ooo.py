@@ -127,9 +127,16 @@ class OoOCore:
             pre = predecode_program(program)
             self._runs: list | None = pre.runs
             self._eas: list | None = pre.eas
+            # Dispatch-plan tables: per-index last-writer keys precomputed
+            # at predecode time, so the per-dispatch dependency scan walks a
+            # ready-made tuple instead of an OPINFO getattr chain.
+            self._read_keys: list | None = pre.read_keys
+            self._write_keys: list | None = pre.write_keys
         elif dispatch == "oracle":
             self._runs = None
             self._eas = None
+            self._read_keys = None
+            self._write_keys = None
         else:
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self._rob: deque[_RobEntry] = deque()
@@ -150,6 +157,8 @@ class OoOCore:
         state = dict(self.__dict__)
         predecoded = state.pop("_runs", None) is not None
         state.pop("_eas", None)
+        state.pop("_read_keys", None)
+        state.pop("_write_keys", None)
         state["_pickle_predecoded"] = predecoded
         return state
 
@@ -160,9 +169,13 @@ class OoOCore:
             pre = predecode_program(self.program)
             self._runs = pre.runs
             self._eas = pre.eas
+            self._read_keys = pre.read_keys
+            self._write_keys = pre.write_keys
         else:
             self._runs = None
             self._eas = None
+            self._read_keys = None
+            self._write_keys = None
 
     # ------------------------------------------------------------ lifecycle
     def bind_context(self, state: ArchState) -> None:
@@ -358,6 +371,11 @@ class OoOCore:
         if now < self._fetch_stall_until or self._halt_pending:
             return 0
         state = self.state
+        runs = self._runs
+        read_keys = self._read_keys
+        write_keys = self._write_keys
+        last_writer = self._last_writer
+        index = -1
         dispatched = 0
         while dispatched < self.width and len(self._rob) < self.rob_size:
             insn = self._fetch(state.pc)
@@ -370,17 +388,33 @@ class OoOCore:
                 break
             entry = _RobEntry(insn, self._seq)
             self._seq += 1
-            # Timing dependencies via the last-writer table.
-            for reg_kind, fields in (("x", info.reads_int), ("f", info.reads_float)):
-                for field in fields:
-                    reg = getattr(insn, field)
-                    writer = self._last_writer.get((reg_kind, reg))
+            # Timing dependencies via the last-writer table: the predecoded
+            # dispatch plan walks ready-made key tuples; the oracle path
+            # scans the OPINFO read fields.  Both visit the same keys in the
+            # same order (x reads then f reads, duplicates preserved).
+            if runs is not None:
+                index = (state.pc - TEXT_BASE) >> 3
+                for key in read_keys[index]:
+                    writer = last_writer.get(key)
                     if writer is not None:
                         entry.deps.append(writer)
-            runs = self._runs
+                wkey = write_keys[index]
+            else:
+                for reg_kind, fields in (("x", info.reads_int), ("f", info.reads_float)):
+                    for field in fields:
+                        reg = getattr(insn, field)
+                        writer = last_writer.get((reg_kind, reg))
+                        if writer is not None:
+                            entry.deps.append(writer)
+                if info.writes_int:
+                    wkey = ("x", insn.rd) if insn.rd else None
+                elif info.writes_float:
+                    wkey = ("f", insn.rd)
+                else:
+                    wkey = None
             if info.is_load or info.is_store:
                 if runs is not None:
-                    entry.addr = self._eas[(state.pc - TEXT_BASE) >> 3](state.x)
+                    entry.addr = self._eas[index](state.x)
                 else:
                     entry.addr = effective_address(state, insn)
                 entry.block = self.l1d.block_addr(entry.addr)
@@ -404,7 +438,7 @@ class OoOCore:
             if not entry.is_load and not entry.is_store:
                 executed = True
                 if runs is not None:
-                    run = runs[(state.pc - TEXT_BASE) >> 3]
+                    run = runs[index]
                     if run is None:  # halt (ecall/AMO serialised earlier)
                         state.halted = True
                         is_halt = True
@@ -441,16 +475,14 @@ class OoOCore:
                     # bubble ends this cycle's dispatch group.
                     self._rob.append(entry)
                     dispatched += 1
-                    if info.writes_int and insn.rd != 0:
-                        self._last_writer[("x", insn.rd)] = entry
+                    if wkey is not None:
+                        last_writer[wkey] = entry
                     break
             elif executed:
                 state.pc = state.pc + INSTRUCTION_BYTES if target is None else target
             # Register the destination for dependents.
-            if info.writes_int and insn.rd != 0:
-                self._last_writer[("x", insn.rd)] = entry
-            elif info.writes_float:
-                self._last_writer[("f", insn.rd)] = entry
+            if wkey is not None:
+                last_writer[wkey] = entry
             self._rob.append(entry)
             dispatched += 1
             if info.is_branch and self._fetch_stall_until > now:

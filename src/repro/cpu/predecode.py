@@ -50,8 +50,10 @@ from repro.isa.program import TEXT_BASE, Program
 
 __all__ = [
     "PredecodedProgram",
+    "TimingBlocks",
     "predecode_program",
     "predecode_instruction",
+    "timing_blocks",
     "K_SIMPLE",
     "K_BRANCH",
     "K_JUMP",
@@ -976,6 +978,8 @@ class PredecodedProgram:
         "latencies",
         "block_runs",
         "block_lens",
+        "read_keys",
+        "write_keys",
         "size",
     )
 
@@ -1003,7 +1007,38 @@ class PredecodedProgram:
         self.eas = eas
         self.applies = applies
         self.latencies = latencies
+        self._build_dispatch_plan(text, n)
         self._build_superblocks(program, kinds, n)
+
+    def _build_dispatch_plan(self, text, n: int) -> None:
+        """Precompute the OoO dispatch-plan tables.
+
+        ``read_keys[i]`` is the tuple of last-writer table keys the
+        instruction's operands look up (``("x", r)`` / ``("f", r)``, in
+        oracle scan order, duplicates preserved); ``write_keys[i]`` is the
+        key its destination registers, or ``None``.  ``("x", 0)`` reads are
+        dropped at build time: x0 writes are never registered, so the lookup
+        always misses.
+        """
+        read_keys: list = [()] * n
+        write_keys: list = [None] * n
+        for i, insn in enumerate(text):
+            info = insn.info
+            keys = []
+            for field in info.reads_int:
+                reg = getattr(insn, field)
+                if reg:
+                    keys.append(("x", reg))
+            for field in info.reads_float:
+                keys.append(("f", getattr(insn, field)))
+            read_keys[i] = tuple(keys)
+            if info.writes_int:
+                if insn.rd:
+                    write_keys[i] = ("x", insn.rd)
+            elif info.writes_float:
+                write_keys[i] = ("f", insn.rd)
+        self.read_keys = read_keys
+        self.write_keys = write_keys
 
     def _build_superblocks(self, program: Program, kinds, n: int) -> None:
         """Compile extended basic blocks at block leaders.
@@ -1063,3 +1098,231 @@ def predecode_program(program: Program) -> PredecodedProgram:
     pre = PredecodedProgram(program)
     object.__setattr__(program, "_predecoded", pre)
     return pre
+
+
+# ------------------------------------------------- timing superblock codegen
+#
+# The funcsim superblocks above cannot serve the timing cores: a block call
+# collapses its instructions into one step, which would hide the per-cycle
+# boundaries the timing model observes (latencies, cache moments, InQ
+# routing).  Timing superblocks lift the restriction for the one instruction
+# class where no boundary is *observable*: a straight-line run of latency-1
+# register-only instructions, optionally ended by a latency-1 branch or
+# jump.  Each such instruction occupies exactly one cycle, commits exactly
+# one instruction, touches no cache, queue, or system state, and cannot
+# stall — so executing n of them as one compiled call that advances the
+# clock by n is cycle-for-cycle indistinguishable from n per-instruction
+# steps.  The caller (InOrderCore.block_step via CoreThread.step_many) caps
+# the block at the first cycle where the outside world could intervene: the
+# turn budget, the window edge, and the next queued InQ event.
+#
+# A block function has signature ``tblock(x, f) -> next_pc`` (the length is
+# static, read from the parallel ``lens`` table).  Fall-through blocks
+# return the constant address past their last instruction; branch
+# terminators return taken-target or fall-through.
+#
+# Generated module source is cached on disk in the toolchain's compile
+# cache (:func:`repro.lang.compiler.cache_dir`), keyed by the encoded text,
+# entry, symbols, and the toolchain fingerprint.  The cached file is *not* a
+# standalone importable module — it is executed against a prepared helper
+# namespace (:data:`_TIMING_NAMESPACE`) on both the hit and miss paths, so a
+# disk round-trip and a fresh generation produce identical functions.
+
+#: Bump to invalidate cached timing-block modules when the codegen changes.
+_TIMING_CACHE_VERSION = 1
+
+#: Globals every generated timing-block module is executed against.  The
+#: per-function default-argument params (``_div=_div`` …) resolve here.
+_TIMING_NAMESPACE = {
+    "M": _MASK,
+    "H": _HALF,
+    "T": _TWO64,
+    "_div": _div,
+    "_rem": _rem,
+    "_fsqrt": _fsqrt,
+    "_fcvt_l_d": _fcvt_l_d,
+    "_copysign": math.copysign,
+    "_inf": math.inf,
+    "_nan": math.nan,
+    "_min": min,
+    "_max": max,
+    "_abs": abs,
+    "_sin": math.sin,
+    "_cos": math.cos,
+    "_float": float,
+    "_pack": _pack,
+    "_unpack": _unpack,
+}
+
+
+class TimingBlocks:
+    """Per-leader compiled timing superblocks for one :class:`Program`.
+
+    Parallel tables indexed by text index: ``runs[i]`` is the compiled
+    ``tblock(x, f) -> next_pc`` starting at *i* (``None`` when no block
+    starts there), ``lens[i]`` its static cycle/commit count (0 when none).
+    Stateless between calls — one instance is shared by every in-order core
+    simulating the same program.
+    """
+
+    __slots__ = ("runs", "lens", "size")
+
+    def __init__(self, runs: list, lens: list, size: int) -> None:
+        self.runs = runs
+        self.lens = lens
+        self.size = size
+
+
+def _emit_timing_terminator(insn: Instruction, pc: int, lines: list) -> None:
+    """Like :func:`_emit_terminator`, but a not-taken branch returns the
+    fall-through address instead of ``None`` (timing blocks always hand the
+    caller an absolute next pc)."""
+    op = insn.op
+    d, a = insn.rd, insn.rs1
+    if op is Op.JAL:
+        if d:
+            lines.append(f"x[{d}] = {pc + INSTRUCTION_BYTES}")
+        lines.append(f"return {to_signed64(pc + insn.imm)}")
+    elif op is Op.JALR:
+        if insn.imm == 0:
+            lines.append(f"v = x[{a}]")
+        else:
+            lines.append(f"v = (x[{a}] + {insn.imm}) & M")
+            lines.append("v = v - T if v >= H else v")
+        if d:
+            lines.append(f"x[{d}] = {pc + INSTRUCTION_BYTES}")
+        lines.append("return v")
+    else:
+        target = to_signed64(pc + insn.imm)
+        cond = _BRANCH_EXPR[op].format(a=a, b=insn.rs2)
+        lines.append(f"return {target} if {cond} else {pc + INSTRUCTION_BYTES}")
+
+
+def _timing_source(program: Program) -> str:
+    """Generate the timing-block module source for *program*.
+
+    One function per qualifying leader plus a ``BLOCKS = {index: (fn,
+    length)}`` table.  Deterministic for a given program + codegen version
+    (leaders are emitted in index order), so cached files byte-compare equal
+    across runs.
+    """
+    pre = predecode_program(program)
+    text, kinds, lats = program.text, pre.kinds, pre.latencies
+    n = pre.size
+    leaders = {0, (program.entry - TEXT_BASE) >> 3}
+    for addr in program.symbols.values():
+        idx = (addr - TEXT_BASE) >> 3
+        if 0 <= idx < n and not addr & 7:
+            leaders.add(idx)
+    for i, insn in enumerate(text):
+        if kinds[i] != K_SIMPLE or lats[i] != 1:
+            leaders.add(i + 1)
+        if kinds[i] == K_BRANCH or insn.op is Op.JAL:
+            target = to_signed64(TEXT_BASE + i * INSTRUCTION_BYTES + insn.imm)
+            idx = (target - TEXT_BASE) >> 3
+            if 0 <= idx < n and not target & 7:
+                leaders.add(idx)
+    chunks = [
+        f"# timing superblocks for {program.name!r}"
+        f" (codegen v{_TIMING_CACHE_VERSION}; executed against"
+        " repro.cpu.predecode._TIMING_NAMESPACE)\n"
+    ]
+    entries = []
+    for i in sorted(leaders):
+        if not 0 <= i < n:
+            continue
+        j = i
+        while j < n and kinds[j] == K_SIMPLE and lats[j] == 1:
+            j += 1
+        body_len = j - i
+        term = j if j < n and kinds[j] in _TERMINATORS and lats[j] == 1 else None
+        total = body_len + (1 if term is not None else 0)
+        if total < MIN_SUPERBLOCK:
+            continue
+        binds: dict = {"M": _MASK, "H": _HALF, "T": _TWO64}
+        lines: list[str] = []
+        for k in range(i, j):
+            _emit_insn(text[k], TEXT_BASE + k * INSTRUCTION_BYTES, lines, binds)
+        if term is not None:
+            _emit_timing_terminator(text[term], TEXT_BASE + term * INSTRUCTION_BYTES, lines)
+        else:
+            lines.append(f"return {TEXT_BASE + j * INSTRUCTION_BYTES}")
+        params = ", ".join(f"{name}={name}" for name in binds)
+        chunks.append(
+            f"def _tb_{i}(x, f, {params}):\n    " + "\n    ".join(lines) + "\n"
+        )
+        entries.append(f"    {i}: (_tb_{i}, {total}),")
+    chunks.append("BLOCKS = {\n" + "\n".join(entries) + "\n}\n")
+    return "\n".join(chunks)
+
+
+def _timing_cache_key(program: Program) -> str:
+    """Cache key over everything the generated source depends on."""
+    import hashlib
+    import sys
+
+    from repro.lang.compiler import toolchain_fingerprint
+
+    h = hashlib.sha256()
+    h.update(f"timing-blocks-v{_TIMING_CACHE_VERSION}\x00".encode())
+    h.update(toolchain_fingerprint().encode())
+    h.update(f"py{sys.version_info.major}.{sys.version_info.minor}\x00".encode())
+    h.update(program.name.encode())
+    h.update(b"\x00")
+    h.update(struct.pack("<q", program.entry))
+    for word in program.encoded_text():
+        h.update(struct.pack("<Q", word & _MASK))
+    for name, addr in sorted(program.symbols.items()):
+        h.update(f"{name}={addr};".encode())
+    return h.hexdigest()
+
+
+def timing_blocks(program: Program) -> TimingBlocks:
+    """Timing superblocks for *program*, memoised on the program object.
+
+    The generated module source is additionally cached on disk through the
+    toolchain compile cache; a hit skips the codegen pass (the ``exec`` cost
+    is paid either way, so hit and miss produce identical functions).
+    Caching is best-effort: an unreadable/corrupt cache entry falls back to
+    fresh generation, and a disabled cache dir just skips the disk layer.
+    """
+    cached = getattr(program, "_timing_blocks", None)
+    if cached is not None:
+        return cached
+    from repro.lang.compiler import cache_dir
+
+    directory = cache_dir()
+    path = None
+    src = None
+    if directory is not None:
+        path = directory / f"tblocks_{_timing_cache_key(program)}.py"
+        try:
+            src = path.read_text(encoding="utf-8")
+        except OSError:
+            src = None
+    namespace = dict(_TIMING_NAMESPACE)
+    if src is not None:
+        try:
+            exec(compile(src, str(path), "exec"), namespace)  # noqa: S102
+        except Exception:
+            namespace = dict(_TIMING_NAMESPACE)
+            src = None
+    if src is None:
+        src = _timing_source(program)
+        exec(compile(src, "<timing-blocks>", "exec"), namespace)  # noqa: S102
+        if path is not None:
+            try:
+                from repro._util import atomic_write_text
+
+                atomic_write_text(path, src)
+            except Exception:
+                pass  # best-effort: read-only cache dirs never break runs
+    n = len(program.text)
+    runs: list = [None] * n
+    lens = [0] * n
+    for i, (fn, length) in namespace["BLOCKS"].items():
+        runs[i] = fn
+        lens[i] = length
+    tb = TimingBlocks(runs, lens, n)
+    object.__setattr__(program, "_timing_blocks", tb)
+    return tb

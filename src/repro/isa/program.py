@@ -49,6 +49,7 @@ class Program:
         # so checkpoints carry only the declared fields.
         state = dict(self.__dict__)
         state.pop("_predecoded", None)
+        state.pop("_timing_blocks", None)
         return state
 
     @property

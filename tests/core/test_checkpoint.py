@@ -145,6 +145,71 @@ def test_ooo_core_roundtrip(program, tmp_path):
     assert plain.stats_sha256 == full.stats_sha256 == resumed.stats_sha256
 
 
+def test_static_schedule_checkpoint_fresh_process(tmp_path):
+    """A checkpoint written at a static window boundary restores bit-exactly
+    in a brand-new interpreter.
+
+    Trace cores under a barrier scheme are where static scheduling actually
+    engages; the payload's ``static_release`` marker must route the restored
+    run back into the superstep loop, and the digest must match both the
+    uninterrupted static run and the dynamic oracle.
+    """
+    from repro.workloads.synthetic import sharing_workload
+
+    target = TargetConfig(num_cores=4, core_model="trace")
+
+    def run_trace(scheduling, **overrides):
+        return SequentialEngine(
+            None,
+            trace_cores=sharing_workload(4, 24, seed=3),
+            target=target, host=HOST,
+            sim=replace(SIM, scheme="q3", scheduling=scheduling, **overrides),
+        ).run()
+
+    cp = str(tmp_path / "ck.pkl")
+    dynamic = run_trace("dynamic")
+    static = run_trace("static", checkpoint_interval=300, checkpoint_path=cp)
+    assert static.stats["engine.scheduling"] == "static"
+    assert (tmp_path / "ck.pkl").exists(), "no static checkpoint was written"
+    assert static.stats_sha256 == dynamic.stats_sha256
+
+    script = (
+        "from repro.core.checkpoint import load_checkpoint\n"
+        f"result = load_checkpoint({cp!r}).run()\n"
+        "print(result.stats_sha256)\n"
+        "print(result.stats['engine.scheduling'])\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+        cwd=str(Path(__file__).resolve().parents[2] / "src"),
+    )
+    digest, scheduling = out.stdout.split()
+    assert digest == static.stats_sha256
+    assert scheduling == "static"  # resumed mid-window back into the superstep
+
+
+def test_timing_blocks_rederived_on_restore(program, tmp_path):
+    """The in-order core's compiled timing superblocks are closures — they
+    must be dropped at pickle time and re-derived (fresh tables, same
+    program) on restore, like the per-instruction predecode tables."""
+    from repro.cpu.predecode import TimingBlocks
+
+    cp = str(tmp_path / "ck.pkl")
+    engine = build(program, "q3")
+    models = [ct.model for ct in engine.cores]
+    assert all(m._tblocks is not None for m in models)
+    save_checkpoint(engine, cp)
+    restored = load_checkpoint(cp)
+    for ct in restored.cores:
+        tb = ct.model._tblocks
+        assert isinstance(tb, TimingBlocks)
+        assert any(tb.lens), "restored timing-block table is empty"
+        # Re-derived, not round-tripped: fresh objects per restored program.
+        assert tb is not models[0]._tblocks
+    assert restored.run().stats_sha256 == build(program, "q3").run().stats_sha256
+
+
 def test_time_zero_checkpoint(program, tmp_path):
     """save_checkpoint works on an engine that has not run yet: the restored
     engine runs the whole simulation from scratch, bit-identically."""

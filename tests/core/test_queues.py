@@ -100,10 +100,18 @@ class TestGQ:
         q.pop_fifo()
         assert len(q) == 1
 
-    def test_ties_broken_by_sequence(self):
+    def test_ties_broken_by_core_then_sequence(self):
+        """Same-ts requests are serviced in core-id order regardless of the
+        (host-dependent) arrival order; within one core, creation order."""
         q = GlobalQueue()
-        a, b = ev(5, core=1), ev(5, core=2)
+        b, a = ev(5, core=2), ev(5, core=1)
+        q.push(b)  # core 2 arrives first...
         q.push(a)
-        q.push(b)
-        assert q.pop_oldest(5) is a
+        assert q.pop_oldest(5) is a  # ...but core 1 is serviced first
         assert q.pop_oldest(5) is b
+        q2 = GlobalQueue()
+        first, second = ev(5, core=1), ev(5, core=1)
+        q2.push(first)
+        q2.push(second)
+        assert q2.pop_oldest(5) is first
+        assert q2.pop_oldest(5) is second

@@ -1,0 +1,116 @@
+"""Property tests for the static window planner (repro.core.schedule).
+
+The planner's contract (DESIGN.md §9) is that a static superstep is a
+re-bracketing of the dynamic loop's per-turn budgets, never a behavioural
+change.  Hypothesis pins the invariants the differential tests rely on:
+
+* batches are positive, never exceed the turn cap, and never cross the
+  window edge — the core's next possible cross-core interaction point;
+* they sum to exactly the planned span (window, or the ``max_cycles``
+  runaway net plus the one-cycle overshoot the guard observes);
+* the first batch equals the per-turn budget the dynamic engine computes
+  for a barrier-policy core at the same clock state, so consuming a batch
+  and re-planning reproduces the dynamic decomposition turn for turn.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import plan_window, split_batches
+
+TIMES = st.integers(min_value=0, max_value=10_000)
+CAPS = st.integers(min_value=1, max_value=512)
+
+
+def dynamic_turn_budget(local: int, edge: int, turn_cap: int, limit: int) -> int:
+    """``SequentialEngine._turn_budget`` for a barrier-policy core whose
+    scheme grant equals its window remainder (grant >= window there)."""
+    budget = edge - local
+    if turn_cap < budget:
+        budget = turn_cap
+    net = limit + 1 - local
+    if net < budget:
+        budget = net
+    return budget if budget > 0 else 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(start=TIMES, span=st.integers(0, 4096), turn_cap=CAPS)
+def test_batches_tile_the_window(start, span, turn_cap):
+    edge = start + span
+    batches = split_batches(start, edge, turn_cap)
+    assert all(b > 0 for b in batches)
+    assert all(b <= turn_cap for b in batches)
+    assert sum(batches) == span  # exact tiling: nothing crosses the edge
+    # Maximality: every batch but the last is a full turn cap (the planner
+    # never cuts a batch short of a possible interaction point).
+    assert all(b == turn_cap for b in batches[:-1])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    start=TIMES,
+    span=st.integers(0, 4096),
+    turn_cap=CAPS,
+    headroom=st.integers(-64, 4096),
+)
+def test_limit_net_clamps_like_the_runaway_guard(start, span, turn_cap, headroom):
+    edge = start + span
+    limit = start + headroom
+    batches = split_batches(start, edge, turn_cap, limit)
+    if span == 0:
+        assert batches == ()
+        return
+    assert all(0 < b <= turn_cap for b in batches)
+    planned = sum(batches)
+    if limit + 1 - start >= span:
+        assert planned == span  # net not binding
+    else:
+        # Clamped at the net, overshooting the limit by exactly the one
+        # cycle the engine's runaway guard needs to observe — with the
+        # dynamic floor of one granted cycle.
+        assert planned == max(limit + 1 - start, 1)
+        assert start + planned <= max(limit + 1, start + 1)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    start=TIMES,
+    span=st.integers(1, 4096),
+    turn_cap=CAPS,
+    headroom=st.integers(0, 8192),
+)
+def test_first_batch_is_the_dynamic_turn_budget(start, span, turn_cap, headroom):
+    """Re-planning after each consumed batch replays the dynamic loop."""
+    edge = start + span
+    limit = start + headroom
+    local = start
+    while local < edge:
+        plan = split_batches(local, edge, turn_cap, limit)
+        assert plan, "plan empty before the edge"
+        expected = dynamic_turn_budget(local, edge, turn_cap, limit)
+        assert plan[0] == expected
+        local += plan[0]
+        if local > limit:
+            break  # the engine's runaway guard fires here
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(TIMES, st.integers(0, 1024)), min_size=0, max_size=8
+    ),
+    turn_cap=CAPS,
+)
+def test_plan_window_covers_every_active_core(data, turn_cap):
+    cores = [(cid, local, local + span) for cid, (local, span) in enumerate(data)]
+    plans = plan_window(cores, turn_cap)
+    assert [p.core_id for p in plans] == [c[0] for c in cores]
+    for plan, (_, local, edge) in zip(plans, cores):
+        assert plan.cycles == edge - local
+        assert plan.batches == split_batches(local, edge, turn_cap)
+        # A core already at its edge gets an empty plan (suspends without
+        # a turn — only reachable mid-restore).
+        if edge == local:
+            assert plan.batches == ()
