@@ -20,32 +20,17 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.stats.perfjson import host_calibration  # noqa: E402
+
 BASELINES_PATH = pathlib.Path(__file__).resolve().parent / "BASELINES.json"
 BENCH_PATH = ROOT / "BENCH_engine.json"
 
 #: Maximum tolerated throughput regression after host-speed rescaling.
 THRESHOLD = 0.20
-
-
-def calibrate() -> float:
-    """Wall seconds for a fixed, allocation-and-arithmetic Python workload
-    (min of 5 runs). Used to normalize baselines across host machines."""
-    best = float("inf")
-    for _ in range(5):
-        t0 = time.perf_counter()
-        acc = 0
-        d = {}
-        for i in range(200_000):
-            acc += (i * 3) ^ (i >> 2)
-            if i & 1023 == 0:
-                d[i] = acc
-        elapsed = time.perf_counter() - t0
-        if elapsed < best:
-            best = elapsed
-    return best
 
 
 def main(argv: list[str]) -> int:
@@ -59,7 +44,7 @@ def main(argv: list[str]) -> int:
               "`pytest benchmarks/bench_infrastructure.py --benchmark-only` first")
         return 2
     bench = json.loads(BENCH_PATH.read_text())
-    cal = calibrate()
+    cal = host_calibration()
 
     if args.update:
         pinned_benchmarks = {}
@@ -91,10 +76,13 @@ def main(argv: list[str]) -> int:
         return 2
 
     # Host-speed ratio: >1 means this machine is faster than the baseline
-    # machine, so proportionally more throughput is expected.
+    # machine, so proportionally more throughput is expected.  The session
+    # ratio is the fallback; entries stamped with their own
+    # calibration_seconds (recorded next to the measurement) get a
+    # per-benchmark ratio, which tracks mid-session host-speed drift.
     speed = base["calibration_seconds"] / cal
     print(f"calibration: baseline {base['calibration_seconds']*1e3:.2f}ms, "
-          f"here {cal*1e3:.2f}ms -> host speed x{speed:.2f}")
+          f"here {cal*1e3:.2f}ms -> session host speed x{speed:.2f}")
 
     failed = False
     for name, pinned in sorted(base["benchmarks"].items()):
@@ -103,13 +91,15 @@ def main(argv: list[str]) -> int:
             print(f"  MISSING {name}: not present in {BENCH_PATH.name}")
             failed = True
             continue
-        expected = pinned["throughput"] * speed
+        entry_cal = entry.get("calibration_seconds")
+        bench_speed = base["calibration_seconds"] / entry_cal if entry_cal else speed
+        expected = pinned["throughput"] * bench_speed
         actual = entry["throughput"]
         ratio = actual / expected if expected > 0 else 0.0
         unit = pinned.get("work_unit", "")
         status = "ok" if ratio >= 1.0 - THRESHOLD else "REGRESSION"
         print(f"  {status:10s} {name}: {actual:,.0f} {unit}/s "
-              f"vs expected {expected:,.0f} ({ratio:.2f}x)")
+              f"vs expected {expected:,.0f} ({ratio:.2f}x, host x{bench_speed:.2f})")
         if ratio < 1.0 - THRESHOLD:
             failed = True
         # Determinism gate: a pinned stats digest must match exactly (it is

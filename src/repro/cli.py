@@ -61,6 +61,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             host_timeout=args.host_timeout,
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_path=args.checkpoint,
+            backend=args.backend,
+            mem_domains=args.mem_domains,
         ),
     )
     print(result.summary())
@@ -189,7 +191,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.stats.registry import diff_dumps, load_dump, render_dump
+    from repro.stats.registry import diff_dumps, load_dump, load_dump_with_digest, render_dump
 
     if args.action == "show":
         stats = load_dump(args.files[0])
@@ -199,9 +201,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if len(args.files) != 2:
         print("stats diff needs exactly two dump files", file=sys.stderr)
         return 2
-    a, b = (load_dump(f) for f in args.files)
+    (a, digest_a), (b, digest_b) = (load_dump_with_digest(f) for f in args.files)
     lines = diff_dumps(a, b)
-    if not lines:
+    # The recorded digest is the behavioural fingerprint; the flat stats can
+    # compare clean while the digests disagree (the digest canonicalises a
+    # different line set than the dump renders).  A digest mismatch must
+    # fail the diff even when no stat line differs.
+    digest_mismatch = (
+        digest_a is not None and digest_b is not None and digest_a != digest_b
+    )
+    if digest_mismatch:
+        print(f"~ digest: {digest_a} -> {digest_b}")
+    if not lines and not digest_mismatch:
         print(f"identical ({len(a)} stats)")
         return 0
     for line in lines:
@@ -256,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--restore", metavar="PATH",
                      help="resume a checkpointed run (other run options are "
                      "taken from the checkpoint)")
+    run.add_argument("--backend", default="sequential",
+                     choices=("sequential", "threaded", "process"),
+                     help="scheduling-domain backend for the memory side "
+                     "(sequential: round-robin digest baseline; threaded: one "
+                     "worker thread per domain; process: one worker process "
+                     "per domain, trace workloads only)")
+    run.add_argument("--mem-domains", type=int, default=1, metavar="N",
+                     help="shard the L2 banks / directory regions / DRAM "
+                     "channels into N independently-clocked scheduling "
+                     "domains (1: monolithic memory side; N>1 floors every "
+                     "window at the cross-domain exchange quantum)")
     run.set_defaults(func=_cmd_run)
 
     comp = sub.add_parser("compile", help="compile a Slang source file")

@@ -61,6 +61,12 @@ def save_checkpoint(engine: SequentialEngine, path: str) -> None:
             "cannot checkpoint a fault-injected run: fault hooks are closures "
             "over engine seams and would not survive a restore"
         )
+    if engine.sim.backend == "process":
+        raise CheckpointError(
+            "cannot checkpoint a process-backend run: shard state lives in "
+            "the worker processes between exchanges, so the coordinator's "
+            "copy is stale mid-run"
+        )
     payload = {
         "format": CHECKPOINT_FORMAT,
         "seq_position": events.seq_position(),

@@ -136,3 +136,18 @@ class SimConfig:
     #: Where checkpoints land (a single file, atomically replaced).  A
     #: nonzero checkpoint_interval with no path is a configuration error.
     checkpoint_path: str | None = None
+    #: Scheduling-domain backend (DESIGN.md §10): "sequential" services the
+    #: memory-side domains round-robin on the coordinator (default; the
+    #: digest baseline), "threaded" runs one worker thread per domain,
+    #: "process" runs one worker process per domain (trace workloads only).
+    #: Any non-default backend routes through the sharded DomainManager even
+    #: at mem_domains=1 — digests there are byte-identical to the monolithic
+    #: manager by construction.
+    backend: str = "sequential"
+    #: Number of independently-clocked memory-side scheduling domains.  L2
+    #: banks, directory regions and DRAM channels partition by address range
+    #: across domains; with N>1 every core↔domain window is floored at the
+    #: cross-domain exchange quantum (the critical latency), so coherence
+    #: crosses domains only at window edges.  1 (default) keeps the
+    #: monolithic manager on the sequential backend.
+    mem_domains: int = 1

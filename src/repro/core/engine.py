@@ -28,6 +28,7 @@ import itertools
 
 from repro.core.config import HostConfig, SimConfig, TargetConfig
 from repro.core.corethread import CoreState, CoreThread
+from repro.core.domains import BACKENDS, DomainManager
 from repro.core.manager import SimulationManager
 from repro.core.results import CoreResult, SimulationResult
 from repro.core.schedule import split_batches, static_unsupported_reason
@@ -38,6 +39,7 @@ from repro.cpu.l1cache import L1Cache
 from repro.host.costmodel import CostModel
 from repro.host.hostmodel import HostModel
 from repro.isa.program import Program
+from repro.mem.domains import ShardedMemorySystem
 from repro.mem.memsys import MemorySystem
 from repro.stats.registry import Distribution, StatsRegistry
 from repro.sysapi.loader import load_program
@@ -75,7 +77,49 @@ class SequentialEngine:
             if self.sim.detect_violations
             else None
         )
-        self.memsys = MemorySystem(self.target.memsys, self.target.num_cores, self.counters)
+        # Scheduling domains (DESIGN.md §10): any non-default backend or
+        # domain count routes through the sharded memory side + the
+        # DomainManager; the default path keeps the monolithic manager with
+        # zero new branches on its hot loop.
+        self._domained = self.sim.mem_domains > 1 or self.sim.backend != "sequential"
+        if self._domained:
+            if self.sim.backend not in BACKENDS:
+                raise EngineError(
+                    f"unknown backend {self.sim.backend!r} "
+                    f"(choose from {sorted(BACKENDS)})"
+                )
+            if self.sim.fault_plan:
+                raise EngineError(
+                    "fault injection is unsupported with scheduling domains "
+                    "(fault hooks splice into the monolithic manager's GQ)"
+                )
+            if self.sim.backend == "process":
+                if trace_cores is None:
+                    raise EngineError(
+                        "the process backend supports trace workloads only "
+                        "(system emulation state cannot be pickle-cut per domain)"
+                    )
+                if self.sim.checkpoint_interval:
+                    raise EngineError(
+                        "checkpointing is unsupported on the process backend "
+                        "(shard state lives in the worker processes mid-run)"
+                    )
+                if self.sim.stats_interval:
+                    raise EngineError(
+                        "stats snapshots are unsupported on the process backend "
+                        "(shard state lives in the worker processes mid-run)"
+                    )
+            try:
+                self.memsys = ShardedMemorySystem(
+                    self.target.memsys, self.target.num_cores, self.sim.mem_domains
+                )
+            except ValueError as exc:
+                raise EngineError(str(exc)) from None
+        else:
+            self.memsys = MemorySystem(self.target.memsys, self.target.num_cores, self.counters)
+        # Window floor only exists for real multi-domain runs; hoisted so
+        # _turn_budget's single-domain path is branch-identical to the seed.
+        self._domain_floor = self._domained and self.sim.mem_domains > 1
         self.hostmodel = HostModel(self.host_cfg.num_cores)
         self.costmodel = CostModel(self.host_cfg, self.sim.seed, self.target.num_cores)
         self.system: SystemEmulation | None = None
@@ -140,7 +184,17 @@ class SequentialEngine:
                 model.bind_context(ArchState(context_id=i))
                 ct.model = model
                 self.cores.append(ct)
-        self.manager = SimulationManager(self.cores, self.memsys, self.scheme)
+        if self._domained:
+            self.manager = DomainManager(
+                self.cores,
+                self.memsys,
+                self.scheme,
+                self.counters,
+                backend=self.sim.backend,
+                host_timeout=self.sim.host_timeout,
+            )
+        else:
+            self.manager = SimulationManager(self.cores, self.memsys, self.scheme)
         # Fault injection (DESIGN.md §8): hooks install only when a plan is
         # configured, so the default engine carries zero fault-path overhead.
         self.faults = None
@@ -248,6 +302,11 @@ class SequentialEngine:
         sim.scalar("target_cores", source=lambda: self.target.num_cores)
         sim.scalar("host_cores", source=lambda: self.host_cfg.num_cores)
         sim.scalar("completed", source=lambda: int(self._completed))
+        # Backend/domain-count are host-side execution choices: digest=False
+        # is what makes a threaded 1-domain run byte-identical (by digest) to
+        # the monolithic manager, the correctness bar of DESIGN.md §10.
+        sim.scalar("backend", source=lambda: self.sim.backend, digest=False)
+        sim.scalar("mem_domains", source=lambda: self.sim.mem_domains, digest=False)
 
         engine = reg.group("engine")
         for name in (
@@ -339,30 +398,95 @@ class SequentialEngine:
         mem = reg.group("mem")
         mem.scalar("requests_serviced", source=lambda: self.memsys.requests_serviced)
         bus = mem.group("bus")
-        for field in ("transfers", "busy_cycles", "contention_cycles"):
-            bus.scalar(field, source=(lambda f=field: getattr(self.memsys.bus.stats, f)))
         l2 = mem.group("l2")
-        for field in (
+        dram = mem.group("dram")
+        directory = mem.group("directory")
+        bus_fields = ("transfers", "busy_cycles", "contention_cycles")
+        l2_fields = (
             "accesses", "hits", "misses", "writebacks_in",
             "bank_conflict_cycles", "hop_cycles",
-        ):
-            l2.scalar(field, source=(lambda f=field: getattr(self.memsys.l2.stats, f)))
-        l2.vector("bank_accesses", lambda: self.memsys.l2.bank_accesses)
-        l2.formula(
-            "miss_rate",
-            lambda: self.memsys.l2.stats.misses / self.memsys.l2.stats.accesses,
         )
-        dram = mem.group("dram")
-        for field in ("accesses", "queue_cycles", "row_activations"):
-            dram.scalar(field, source=(lambda f=field: getattr(self.memsys.dram.stats, f)))
-        directory = mem.group("directory")
-        for field in (
+        dram_fields = ("accesses", "queue_cycles", "row_activations")
+        dir_fields = (
             "requests", "invalidations_sent", "downgrades_sent",
             "cache_to_cache_transfers",
-        ):
-            directory.scalar(
-                field, source=(lambda f=field: getattr(self.memsys.directory, f))
+        )
+        if not self._domained:
+            for field in bus_fields:
+                bus.scalar(field, source=(lambda f=field: getattr(self.memsys.bus.stats, f)))
+            for field in l2_fields:
+                l2.scalar(field, source=(lambda f=field: getattr(self.memsys.l2.stats, f)))
+            l2.vector("bank_accesses", lambda: self.memsys.l2.bank_accesses)
+            l2.formula(
+                "miss_rate",
+                lambda: self.memsys.l2.stats.misses / self.memsys.l2.stats.accesses,
             )
+            for field in dram_fields:
+                dram.scalar(field, source=(lambda f=field: getattr(self.memsys.dram.stats, f)))
+            for field in dir_fields:
+                directory.scalar(
+                    field, source=(lambda f=field: getattr(self.memsys.directory, f))
+                )
+        else:
+            # Sharded memory side: same stat names, values summed over the
+            # shards (an identity at one domain — the digest-equality bar).
+            shards = self.memsys.shards
+            for field in bus_fields:
+                bus.scalar(
+                    field,
+                    source=(lambda f=field: sum(getattr(s.bus.stats, f) for s in shards)),
+                )
+            for field in l2_fields:
+                l2.scalar(
+                    field,
+                    source=(lambda f=field: sum(getattr(s.l2.stats, f) for s in shards)),
+                )
+            l2.vector("bank_accesses", self.memsys.bank_accesses)
+            l2.formula(
+                "miss_rate",
+                lambda: sum(s.l2.stats.misses for s in shards)
+                / sum(s.l2.stats.accesses for s in shards),
+            )
+            for field in dram_fields:
+                dram.scalar(
+                    field,
+                    source=(lambda f=field: sum(getattr(s.dram.stats, f) for s in shards)),
+                )
+            for field in dir_fields:
+                directory.scalar(
+                    field,
+                    source=(lambda f=field: sum(getattr(s.directory, f) for s in shards)),
+                )
+            if self.sim.mem_domains > 1:
+                # Per-domain subtree: only under real sharding, so single-
+                # domain dumps stay structurally identical to the monolith.
+                dgrp = mem.group("domains")
+                dgrp.scalar("count", source=lambda: self.memsys.num_domains)
+                dgrp.scalar(
+                    "exchange_quantum", source=lambda: self.manager.exchange_quantum
+                )
+                dgrp.scalar("exchanges", source=lambda: self.manager.exchanges)
+                for k in range(self.memsys.num_domains):
+                    grp = dgrp.group(f"d{k}")
+                    grp.scalar(
+                        "requests_serviced",
+                        source=(lambda i=k: self.memsys.shards[i].requests_serviced),
+                    )
+                    grp.scalar(
+                        "l2_accesses",
+                        source=(lambda i=k: self.memsys.shards[i].l2.stats.accesses),
+                    )
+                    grp.scalar(
+                        "dram_accesses",
+                        source=(lambda i=k: self.memsys.shards[i].dram.stats.accesses),
+                    )
+                    grp.scalar(
+                        "directory_blocks",
+                        source=(lambda i=k: self.memsys.shards[i].directory.tracked_blocks()),
+                    )
+                    grp.scalar(
+                        "clock", source=(lambda i=k: self.manager.domains[i].clock)
+                    )
 
         if self.faults is not None:
             faults = reg.group("faults")
@@ -370,14 +494,40 @@ class SequentialEngine:
             faults.scalar("injected", source=lambda: len(self.faults.fired))
 
         violations = reg.group("violations")
-        for field in (
-            "simulation_state", "system_state", "workload_state",
-            "fastforwards", "fastforward_cycles",
-        ):
-            violations.scalar(
-                field, source=(lambda f=field: getattr(self.counters, f))
+        if not self._domained:
+            for field in (
+                "simulation_state", "system_state", "workload_state",
+                "fastforwards", "fastforward_cycles",
+            ):
+                violations.scalar(
+                    field, source=(lambda f=field: getattr(self.counters, f))
+                )
+            violations.vector("by_resource", lambda: self.counters.by_resource)
+        else:
+            # Shards count into private (race-free) counters; totals fold the
+            # engine's own counters with every shard's at dump time.
+            shards = self.memsys.shards
+            for field in (
+                "simulation_state", "system_state", "workload_state",
+                "fastforwards", "fastforward_cycles",
+            ):
+                violations.scalar(
+                    field,
+                    source=(
+                        lambda f=field: getattr(self.counters, f)
+                        + sum(getattr(s.counters, f) for s in shards)
+                    ),
+                )
+            violations.vector(
+                "by_resource",
+                lambda: self.memsys.merged_counters(self.counters).by_resource,
             )
-        violations.vector("by_resource", lambda: self.counters.by_resource)
+            if self.sim.mem_domains > 1:
+                # Registered only under real sharding (always zero elsewhere)
+                # so single-domain digests match the monolithic manager's.
+                violations.scalar(
+                    "cross_domain", source=lambda: self.counters.cross_domain
+                )
 
         if self.system is not None:
             sync = reg.group("sync")
@@ -426,7 +576,15 @@ class SequentialEngine:
         """
         local = ct.local_time
         manager = self.manager
-        if self._grant_needs_oldest:
+        if self._domain_floor:
+            # Multi-domain runs floor every window at the exchange quantum
+            # (DomainManager.current_max_local); sizing the turn off the raw
+            # scheme grant would slice the floored window into scheme-sized
+            # crumbs and pay per-turn overhead for each.
+            budget = manager.current_max_local() - local
+            if budget < 0:
+                budget = 0
+        elif self._grant_needs_oldest:
             budget = self.scheme.grant(manager.global_time, local, manager.gq.oldest_ts())
         else:
             # Inlined default Scheme.grant: max(0, max_local(global) - local).
@@ -796,6 +954,7 @@ class SequentialEngine:
                     heappush(heap, (done_t, nxt(), idx))
 
         sync_stats()
+        self.manager.finalize()
         self.manager.check_invariants()
         return self._build_result(completed)
 
@@ -987,6 +1146,7 @@ class SequentialEngine:
                 ) * cp_interval
 
         sync_stats()
+        self.manager.finalize()
         self.manager.check_invariants()
         return self._build_result(True)
 
@@ -1091,6 +1251,11 @@ class SequentialEngine:
                 )
             )
         sync = self.system.sync.stats if self.system is not None else None
+        violations = (
+            self.memsys.merged_counters(self.counters)
+            if self._domained
+            else self.counters
+        )
         return SimulationResult(
             scheme=self.scheme.name,
             host_cores=self.host_cfg.num_cores,
@@ -1102,7 +1267,7 @@ class SequentialEngine:
             host_time=self.hostmodel.makespan(),
             host_busy=self.hostmodel.busy,
             cores=core_results,
-            violations=self.counters,
+            violations=violations,
             output=self.system.merged_output() if self.system else [],
             requests=self.manager.requests_processed,
             barriers=self.manager.barriers_completed,

@@ -181,12 +181,21 @@ class SimulationManager:
         self.windows_raised += len(raised)
         return result
 
+    def finalize(self) -> None:
+        """Release any resources held for the run (no-op for the monolithic
+        manager; the DomainManager stops its backend workers here)."""
+
     # --------------------------------------------------------------- service
     def _service(self, event: Event) -> None:
         """Service one GQ request and deliver its responses/messages."""
         self.requests_processed += 1
         kind = REQUEST_KINDS[event.kind]
         result = self.memsys.service(kind, event.addr, event.core, event.ts)
+        self._deliver(event, result)
+
+    def _deliver(self, event: Event, result) -> None:
+        """Turn one ServiceResult into InQ events (response, then coherence
+        messages) — the seq-draw order every execution path must preserve."""
         if result.grant is not None:
             self.cores[event.core].deliver(
                 Event(

@@ -42,10 +42,32 @@ from repro.core.schemes import Scheme
 
 __all__ = [
     "CorePlan",
+    "floored_window",
     "split_batches",
     "plan_window",
     "static_unsupported_reason",
 ]
+
+
+def floored_window(scheme_edge: int, global_time: int, exchange_quantum: int) -> int:
+    """Effective window edge under memory-side sharding (DESIGN.md §10).
+
+    With N>1 scheduling domains every core window is floored at
+    ``global_time + exchange_quantum`` so cross-domain coherence only moves
+    at window edges.  A zero quantum (single domain, or the monolithic
+    manager) leaves the scheme's edge untouched.
+
+    The static-scheduling barrier proof carries over unchanged: flooring
+    raises every active core to the *same* edge (the floor is a function of
+    global time alone), so the window edge remains a hard synchronization
+    point with no mid-window GQ servicing — exactly the property
+    :func:`static_unsupported_reason` relies on.
+    """
+    if exchange_quantum:
+        floor = global_time + exchange_quantum
+        if scheme_edge < floor:
+            return floor
+    return scheme_edge
 
 
 @dataclass(frozen=True)

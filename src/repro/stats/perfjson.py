@@ -20,18 +20,41 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["PerfRecorder", "load"]
+__all__ = ["PerfRecorder", "host_calibration", "load"]
+
+
+def host_calibration(runs: int = 5) -> float:
+    """Wall seconds for a fixed allocation-and-arithmetic Python workload
+    (best of *runs*).  Both halves of the harness use this as the host-speed
+    yardstick: the recorder stamps every benchmark entry with the calibration
+    measured next to it, and the regression gate rescales pinned throughputs
+    by the baseline-to-here calibration ratio before thresholding."""
+    best = float("inf")
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        acc = 0
+        d = {}
+        for i in range(200_000):
+            acc += (i * 3) ^ (i >> 2)
+            if i & 1023 == 0:
+                d[i] = acc
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
 
 
 class PerfRecorder:
     """Accumulates benchmark entries and writes one JSON report."""
 
-    def __init__(self, scale: str) -> None:
+    def __init__(self, scale: str, calibrate: Callable[[], float] = host_calibration) -> None:
         self.scale = scale
         self.entries: dict[str, dict[str, Any]] = {}
+        self._calibrate = calibrate
 
     def record(
         self,
@@ -45,8 +68,14 @@ class PerfRecorder:
         """Record one benchmark: *seconds* is the representative wall time
         (use the mean of the measured rounds), *work* the amount of work per
         call (target cycles, instructions, ...), so ``work / seconds`` is the
-        throughput the regression gate tracks."""
-        entry: dict[str, Any] = {"seconds": seconds}
+        throughput the regression gate tracks.
+
+        Each entry also carries its own ``calibration_seconds`` — the host
+        yardstick measured *next to* this benchmark rather than once per
+        session, so the gate can normalize each figure against the host
+        speed in effect when it was taken (CI machines drift mid-session
+        under noisy neighbours)."""
+        entry: dict[str, Any] = {"seconds": seconds, "calibration_seconds": self._calibrate()}
         if work is not None:
             entry["work"] = work
             entry["work_unit"] = work_unit

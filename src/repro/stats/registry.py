@@ -364,6 +364,16 @@ def dump_to_csv(stats: Mapping[str, Any]) -> str:
 
 def load_dump(path: str) -> dict[str, Any]:
     """Read a stats document (or bare flat dict) from a JSON file."""
+    return load_dump_with_digest(path)[0]
+
+
+def load_dump_with_digest(path: str) -> tuple[dict[str, Any], str | None]:
+    """Read a stats document plus its recorded digest, if any.
+
+    Bare flat dicts (no document wrapper) carry no digest and return
+    ``None`` — callers comparing digests must treat that as "unknown", not
+    "equal".
+    """
     with open(path) as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict):
@@ -371,7 +381,10 @@ def load_dump(path: str) -> dict[str, Any]:
     stats = doc.get("stats", doc)
     if not isinstance(stats, dict):
         raise StatError(f"{path}: malformed stats document")
-    return stats
+    digest = doc.get("digest") if stats is not doc else None
+    if digest is not None and not isinstance(digest, str):
+        raise StatError(f"{path}: malformed digest field")
+    return stats, digest
 
 
 def diff_dumps(a: Mapping[str, Any], b: Mapping[str, Any]) -> list[str]:

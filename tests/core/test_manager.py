@@ -1,5 +1,7 @@
 """SimulationManager unit tests with stub core models."""
 
+import pytest
+
 from repro.core.corethread import CoreState, CoreThread
 from repro.core.events import EvKind, Event
 from repro.core.manager import SimulationManager
@@ -162,7 +164,91 @@ class TestCoherenceDelivery:
         manager, cores, _ = make_manager("cc")
         manager.global_time = 50
         cores[0].local_time = 10  # below global: corrupted
-        import pytest
 
         with pytest.raises(AssertionError, match="invariant"):
             manager.check_invariants()
+
+
+#: One representative per GQ-policy family: barrier (cc, qN), immediate
+#: (su/sN), oldest (sN*), lookahead (lN).
+SCHEME_FAMILIES = ["cc", "q10", "s9", "s9*", "l10"]
+
+
+class TestActiveWindowInterplay:
+    """``_active()`` vs window-raise under mixed core states: cores that go
+    IDLE or DONE mid-window must drop out of pacing (global time, barrier
+    membership, window raises) without stalling the survivors."""
+
+    @pytest.mark.parametrize("scheme", SCHEME_FAMILIES)
+    def test_idle_core_excluded_from_pacing(self, scheme):
+        manager, cores, _ = make_manager(scheme, n=3)
+        cores[0].local_time = cores[1].local_time = 5
+        cores[2].local_time = 0
+        cores[2].state = CoreState.IDLE
+        result = manager.step()
+        assert manager.global_time == 5  # idle core's stale clock ignored
+        assert 2 not in result.raised
+
+    @pytest.mark.parametrize("scheme", SCHEME_FAMILIES)
+    def test_done_mid_window_does_not_stall_window_raise(self, scheme):
+        manager, cores, _ = make_manager(scheme)
+        manager.step()  # establish the first window from t=0
+        edge = cores[0].max_local_time
+        assert edge > 0
+        cores[1].state = CoreState.DONE  # finishes mid-window, clock behind
+        cores[0].local_time = edge
+        result = manager.step()
+        assert manager.global_time == edge  # DONE core no longer the min
+        assert result.raised == [0]
+        assert cores[0].max_local_time > edge
+
+    @pytest.mark.parametrize("scheme", SCHEME_FAMILIES)
+    def test_idle_core_window_untouched_until_reactivated(self, scheme):
+        manager, cores, _ = make_manager(scheme, n=3)
+        cores[2].state = CoreState.IDLE
+        stale_edge = cores[2].max_local_time
+        cores[0].local_time = cores[1].local_time = 20
+        manager.step()
+        assert cores[2].max_local_time == stale_edge  # idle: no raise
+        cores[2].state = CoreState.ACTIVE
+        cores[2].local_time = manager.global_time  # wakes at global (engine contract)
+        result = manager.step()
+        assert 2 in result.raised
+        assert cores[2].max_local_time == manager.current_max_local()
+
+    @pytest.mark.parametrize("scheme", SCHEME_FAMILIES)
+    def test_all_inactive_freezes_clock_and_windows(self, scheme):
+        manager, cores, _ = make_manager(scheme)
+        cores[0].local_time = 50
+        cores[1].local_time = 60
+        for ct in cores:
+            ct.state = CoreState.IDLE
+        result = manager.step()
+        assert manager.global_time == 0  # no active minimum to advance to
+        assert result.raised == []
+        assert manager.barriers_completed == 0
+
+    def test_barrier_completes_without_done_core(self):
+        # Under a barrier policy the at-edge check spans only active cores:
+        # a core that went DONE mid-window (clock short of the edge) must
+        # not hold the barrier open forever.
+        manager, cores, _ = make_manager("q10")
+        cores[0].max_local_time = cores[1].max_local_time = 10
+        cores[0].local_time = 10
+        cores[1].local_time = 4
+        cores[1].state = CoreState.DONE
+        result = manager.step()
+        assert manager.barriers_completed == 1
+        assert result.raised == [0]
+
+    def test_barrier_services_requests_left_by_done_core(self):
+        # Requests a core issued before finishing still drain and are
+        # serviced at the surviving cores' barrier.
+        manager, cores, _ = make_manager("q10")
+        cores[0].max_local_time = cores[1].max_local_time = 10
+        cores[0].local_time = 10
+        cores[1].outq.push(req(1, ts=4))
+        cores[1].state = CoreState.DONE
+        result = manager.step()
+        assert result.drained == 1
+        assert result.processed == 1

@@ -1,0 +1,122 @@
+"""ShardedMemorySystem unit tests: partition, routing, aggregation."""
+
+import pytest
+
+from repro.mem.directory import ReqKind
+from repro.mem.l2nuca import banks_of_domain, domain_of_bank
+from repro.mem.domains import ShardedMemorySystem
+from repro.mem.memsys import MemorySystem
+from repro.violations.detect import ViolationCounters
+
+
+class TestBankPartition:
+    @pytest.mark.parametrize("num_domains", [1, 2, 3, 4, 8])
+    def test_every_bank_owned_by_exactly_one_domain(self, num_domains):
+        num_banks = 8
+        owners = [domain_of_bank(b, num_banks, num_domains) for b in range(num_banks)]
+        for domain in range(num_domains):
+            claimed = list(banks_of_domain(domain, num_banks, num_domains))
+            assert claimed == [b for b in range(num_banks) if owners[b] == domain]
+        assert sorted(b for d in range(num_domains)
+                      for b in banks_of_domain(d, num_banks, num_domains)) == list(range(num_banks))
+
+    def test_ranges_are_contiguous_and_ordered(self):
+        owners = [domain_of_bank(b, 8, 3) for b in range(8)]
+        assert owners == sorted(owners)  # contiguous ranges in bank order
+
+    def test_domain_count_bounds(self):
+        with pytest.raises(ValueError):
+            domain_of_bank(0, 8, 0)
+        with pytest.raises(ValueError):
+            domain_of_bank(0, 8, 9)
+        with pytest.raises(ValueError):
+            ShardedMemorySystem(num_cores=4, num_domains=9)
+
+
+def _drive(memsys, stream):
+    """Service a fixed request stream, returning the ServiceResult fields
+    that define timing behaviour (ready/coherence times, grants, victims)."""
+    out = []
+    for kind, addr, core, ts in stream:
+        r = memsys.service(kind, addr, core, ts)
+        out.append((r.ready_ts, r.grant, tuple(r.invalidations), tuple(r.downgrades), r.coherence_ts))
+    return out
+
+
+def _stream(n=60):
+    kinds = [ReqKind.GETS, ReqKind.GETX, ReqKind.UPGRADE, ReqKind.PUTM]
+    return [
+        (kinds[i % 3], (i * 0x40) % 0x2000, i % 4, i * 3)
+        for i in range(n)
+    ]
+
+
+class TestShardEquivalence:
+    def test_single_domain_matches_monolithic(self):
+        # The 1-domain shard IS a full-geometry MemorySystem seeing every
+        # address: its trajectory must equal the monolith's exactly.
+        mono = MemorySystem(num_cores=4, counters=ViolationCounters())
+        sharded = ShardedMemorySystem(num_cores=4, num_domains=1)
+        stream = _stream()
+        assert _drive(mono, stream) == _drive(sharded.shards[0], stream)
+        assert sharded.requests_serviced == mono.requests_serviced
+        assert sharded.bank_accesses() == mono.l2.bank_accesses
+
+    def test_shard_matches_monolith_on_restricted_stream(self):
+        # A shard is a full-geometry MemorySystem that only ever sees the
+        # addresses it owns: its trajectory on that restricted stream must
+        # equal a monolith driven with the same restricted stream.
+        sharded = ShardedMemorySystem(num_cores=4, num_domains=4)
+        per_domain = [[] for _ in range(4)]
+        for entry in _stream():
+            per_domain[sharded.domain_of(entry[1])].append(entry)
+        assert all(per_domain)  # the stream exercises every domain
+        for domain, sub in enumerate(per_domain):
+            reference = MemorySystem(num_cores=4, counters=ViolationCounters())
+            assert _drive(sharded.shards[domain], sub) == _drive(reference, sub)
+            for bank, count in enumerate(sharded.shards[domain].l2.bank_accesses):
+                if count:
+                    assert bank in sharded.banks_of(domain)
+
+    def test_routing_matches_bank_partition(self):
+        sharded = ShardedMemorySystem(num_cores=4, num_domains=4)
+        for addr in range(0, 0x4000, 0x40):
+            domain = sharded.domain_of(addr)
+            assert sharded.shards[0].l2.bank_of(addr) in sharded.banks_of(domain)
+
+    def test_critical_latency_matches_monolithic(self):
+        mono = MemorySystem(num_cores=4, counters=ViolationCounters())
+        sharded = ShardedMemorySystem(num_cores=4, num_domains=4)
+        assert sharded.critical_latency() == mono.critical_latency()
+
+
+class TestAggregation:
+    def test_bank_accesses_disjoint_merge(self):
+        sharded = ShardedMemorySystem(num_cores=4, num_domains=2)
+        for kind, addr, core, ts in _stream():
+            sharded.shards[sharded.domain_of(addr)].service(kind, addr, core, ts)
+        total = sharded.bank_accesses()
+        assert sum(total) == sharded.requests_serviced
+        for domain in range(2):
+            for bank, count in enumerate(sharded.shards[domain].l2.bank_accesses):
+                if bank not in sharded.banks_of(domain):
+                    assert count == 0
+
+    def test_resource_prefix_only_when_sharded(self):
+        assert ShardedMemorySystem(num_domains=1).shards[0].resource_prefix == ""
+        sharded = ShardedMemorySystem(num_domains=4)
+        assert [s.resource_prefix for s in sharded.shards] == ["d0:", "d1:", "d2:", "d3:"]
+
+    def test_merged_counters_fold_engine_and_shards(self):
+        sharded = ShardedMemorySystem(num_cores=4, num_domains=2)
+        engine = ViolationCounters()
+        engine.record_cross_domain("domain[1]", 3)
+        sharded.shards[0].counters.record_simulation_state("d0:bus")
+        sharded.shards[1].counters.record_simulation_state("d1:bus")
+        merged = sharded.merged_counters(engine)
+        assert merged.cross_domain == 3
+        assert merged.simulation_state == 2
+        assert merged.by_resource == {"domain[1]": 3, "d0:bus": 1, "d1:bus": 1}
+        # Inputs are not mutated (report-time fold).
+        assert engine.simulation_state == 0
+        assert sharded.shards[0].counters.cross_domain == 0

@@ -86,6 +86,32 @@ def test_stats_diff_reports_differences(tmp_path, capsys):
     assert "+ only_b = 4" in out
 
 
+def test_stats_diff_exits_nonzero_on_digest_mismatch(tmp_path, capsys):
+    # Identical stats sections but differing digests (digest-marked lines
+    # can canonicalise differently than the dump renders) must fail the
+    # diff — CI determinism gates rely on the exit code, not the listing.
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"digest": "aa" * 32, "stats": {"x": 1}}))
+    b.write_text(json.dumps({"digest": "bb" * 32, "stats": {"x": 1}}))
+    assert main(["stats", "diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert f"~ digest: {'aa' * 32} -> {'bb' * 32}" in out
+
+
+def test_stats_diff_equal_digests_exit_zero(tmp_path, capsys):
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"digest": "aa" * 32, "stats": {"x": 1}}))
+    b.write_text(json.dumps({"digest": "aa" * 32, "stats": {"x": 1}}))
+    assert main(["stats", "diff", str(a), str(b)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
 def test_stats_diff_needs_two_files(tmp_path, capsys):
     a = tmp_path / "a.json"
     a.write_text('{"stats": {}}')
