@@ -116,6 +116,53 @@ def test_engine_cycle_rate_cc_domains(benchmark, perf):
     )
 
 
+@pytest.fixture(scope="module")
+def fft_trace(tmp_path_factory):
+    """One functional capture of fft tiny, shared by the replay benches."""
+    path = str(tmp_path_factory.mktemp("trace") / "fft_cc.trace")
+    program = make_workload("fft", scale="tiny").program
+    result = run_simulation(
+        program,
+        sim=SimConfig(scheme="cc", seed=1, trace_mode="capture", trace_path=path),
+    )
+    assert result.completed
+    return program, path
+
+
+def test_engine_cycle_rate_cc_replay(benchmark, perf, fft_trace):
+    """cc replayed from a captured trace, domains-threaded (DESIGN.md §11).
+
+    The workhorse sweep configuration: the functional cores are not
+    re-executed (ReplayCore feeds the recorded committed stream through the
+    live engine/scheme/memory stack) and the memory side runs sharded on
+    worker threads.  The pinned ``stats_digest`` equals a direct fft run
+    under the identical scheme/backend config — replay is observationally
+    indistinguishable (tests/trace pins this per scheme family) — and
+    BASELINES.json pins the cycle rate at >=3x the monolithic direct cc pin;
+    the regression gate keeps it there.
+    """
+    program, path = fft_trace
+
+    def go():
+        return run_simulation(
+            program,
+            sim=SimConfig(
+                scheme="cc", seed=1, trace_mode="replay", trace_path=path,
+                backend="threaded", mem_domains=4,
+            ),
+        )
+
+    result = benchmark(go)
+    assert result.completed
+    perf.record(
+        "engine_cycle_rate_cc_replay",
+        seconds=benchmark.stats.stats.mean,
+        work=result.stats["target.execution_cycles"],
+        work_unit="cycles",
+        extra={"stats_digest": result.stats_sha256},
+    )
+
+
 def test_engine_cycle_rate_su(benchmark, perf):
     result = benchmark(lambda: _engine_run("su"))
     assert result.completed

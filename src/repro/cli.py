@@ -4,13 +4,17 @@ Subcommands::
 
     slacksim run --workload fft --scheme s9 --host-cores 8
     slacksim run --workload fft --stats-out run.stats.json --stats-interval 5000
+    slacksim run --workload fft --capture-trace fft.trace
+    slacksim run --workload fft --scheme s9 --replay-trace fft.trace
     slacksim compile program.sl [--run]
     slacksim figure2 | figure8 | table2 | table3
     slacksim sweep figure8 --jobs 4 --out figure8.json
+    slacksim sweep figure8 --trace --jobs 4
     slacksim sweep --workload fft
     slacksim bench --workload fft --profile
     slacksim stats show run.stats.json
     slacksim stats diff a.stats.json b.stats.json
+    slacksim trace info fft.trace
     slacksim schemes
 """
 
@@ -46,6 +50,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from repro.workloads import make_workload
 
+    if args.capture_trace and args.replay_trace:
+        print("--capture-trace and --replay-trace are mutually exclusive", file=sys.stderr)
+        return 2
+    trace_mode = "off"
+    trace_path = None
+    trace_source = None
+    if args.capture_trace:
+        import json
+
+        trace_mode, trace_path = "capture", args.capture_trace
+        trace_source = json.dumps({"workload": args.workload, "scale": args.scale})
+    elif args.replay_trace:
+        trace_mode, trace_path = "replay", args.replay_trace
+
     workload = make_workload(args.workload, scale=args.scale)
     result = run_simulation(
         workload.program,
@@ -63,9 +81,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             backend=args.backend,
             mem_domains=args.mem_domains,
+            trace_mode=trace_mode,
+            trace_path=trace_path,
+            trace_source=trace_source,
         ),
     )
     print(result.summary())
+    if args.capture_trace:
+        print(f"trace captured -> {args.capture_trace}")
+    if args.replay_trace:
+        print(f"replayed from {args.replay_trace} (functional cores not re-executed)")
     if args.faults:
         print(f"faults injected: {result.stats.get('faults.injected', 0)} "
               f"(plan: {args.faults})")
@@ -147,7 +172,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     payload = run_sweep(
         args.experiment, jobs=args.jobs, scale=args.scale, base_seed=args.seed,
         manifest_dir=args.manifest_dir, resume=args.resume,
-        max_retries=args.max_retries,
+        max_retries=args.max_retries, trace=args.trace,
     )
     text = sweep_to_json(payload)
     if args.out:
@@ -220,6 +245,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import TraceError, trace_info
+
+    try:
+        print(trace_info(args.file))
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_schemes(args: argparse.Namespace) -> int:
     from repro.core.schemes import parse_scheme
 
@@ -278,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
                      "channels into N independently-clocked scheduling "
                      "domains (1: monolithic memory side; N>1 floors every "
                      "window at the cross-domain exchange quantum)")
+    run.add_argument("--capture-trace", metavar="PATH",
+                     help="record the committed-op stream at the timing-core "
+                     "-> memory seam into PATH (scheme-invariant; one capture "
+                     "serves every later --replay-trace run)")
+    run.add_argument("--replay-trace", metavar="PATH",
+                     help="re-simulate a captured trace under this run's "
+                     "scheme/window/memory config without re-executing the "
+                     "functional cores (stats digest is byte-identical to "
+                     "the equivalent direct run)")
     run.set_defaults(func=_cmd_run)
 
     comp = sub.add_parser("compile", help="compile a Slang source file")
@@ -319,6 +364,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-retries", type=int, default=2,
                        help="extra attempts per point after a worker crash "
                        "(default 2; point errors never retry)")
+    sweep.add_argument("--trace", action="store_true",
+                       help="capture each distinct (workload, seed) execution "
+                       "once into the .repro_cache/traces/ store, then replay "
+                       "it for every scheme point (byte-identical sweep JSON)")
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser("bench", help="functional KIPS measurement of one workload")
@@ -334,6 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="show one dump as a table, or diff two dumps")
     stats.add_argument("files", nargs="+", help="stats JSON dump file(s)")
     stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser("trace", help="inspect captured trace files")
+    trace.add_argument("action", choices=("info",),
+                       help="print a trace's header, op counts, source and sha256")
+    trace.add_argument("file", help="trace file (written by run --capture-trace)")
+    trace.set_defaults(func=_cmd_trace)
 
     schemes = sub.add_parser("schemes", help="list supported slack schemes")
     schemes.set_defaults(func=_cmd_schemes)

@@ -151,3 +151,15 @@ class SimConfig:
     #: crosses domains only at window edges.  1 (default) keeps the
     #: monolithic manager on the sequential backend.
     mem_domains: int = 1
+    #: Trace subsystem (DESIGN.md §11): "off" (default) leaves both seams
+    #: unhooked; "capture" records the committed-op stream at the timing-core
+    #: → memory seam into ``trace_path``; "replay" re-simulates a recorded
+    #: stream under *this* run's scheme/window/memory config without
+    #: re-executing the functional cores.
+    trace_mode: str = "off"
+    #: Trace file to write (capture) or read (replay).
+    trace_path: str | None = None
+    #: Optional JSON object describing the capture's provenance (workload
+    #: name, parameters, workload seed); stored in the trace header and
+    #: surfaced by ``repro trace info``.
+    trace_source: str | None = None

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import json
 
 from repro.core.config import HostConfig, SimConfig, TargetConfig
 from repro.core.corethread import CoreState, CoreThread
@@ -71,6 +72,105 @@ class SequentialEngine:
         self.scheme = parse_scheme(self.sim.scheme)
         if self.sim.scheduling not in ("dynamic", "static"):
             raise EngineError(f"unknown scheduling mode {self.sim.scheduling!r}")
+        # Trace subsystem (DESIGN.md §11).  Resolved before the domain gates
+        # so a trace-flavor replay presents as trace_cores to the process
+        # backend, exactly like a direct trace-workload run.
+        self._capture = None          # TraceRecorder while capturing a program run
+        self._capture_streams = None  # pre-serialized streams (trace-flavor capture)
+        self._capture_header = None   # non-None while a capture is armed
+        self._replay_ops = None       # program-flavor replay: per-core op streams
+        trace_mode = self.sim.trace_mode
+        if trace_mode not in ("off", "capture", "replay"):
+            raise EngineError(f"unknown trace_mode {trace_mode!r}")
+        if trace_mode != "off":
+            from repro.trace import capture as _tcapture
+            from repro.trace import format as _tformat
+
+            if not self.sim.trace_path:
+                raise EngineError(f"trace_mode={trace_mode!r} requires trace_path")
+        if trace_mode == "capture":
+            for reason, bad in (
+                ("fault injection perturbs the committed stream",
+                 self.sim.fault_plan),
+                ("a checkpointed capture could restore into a half-written stream",
+                 self.sim.checkpoint_interval),
+                ("a max_instructions cut records a partial execution",
+                 self.sim.max_instructions),
+            ):
+                if bad:
+                    raise EngineError(f"trace capture refused: {reason}")
+            source = (
+                json.loads(self.sim.trace_source) if self.sim.trace_source else None
+            )
+            if trace_cores is not None:
+                streams, l1_configs = _tcapture.serialize_trace_cores(trace_cores)
+                self._capture_streams = streams
+                # Deliberately no scheme and no sim seed in the header: the
+                # stream is invariant to both, so re-capturing the same
+                # execution under any scheme/seed yields a byte-identical
+                # file (tests/trace pins this).
+                self._capture_header = {
+                    "flavor": "trace",
+                    "source": source, "l1_per_core": l1_configs,
+                }
+            else:
+                if program is None:
+                    raise EngineError("either a program or trace_cores is required")
+                if self.target.core_model != "inorder":
+                    raise EngineError(
+                        "trace capture requires the inorder core model "
+                        "(the capture seam lives at its commit sites)"
+                    )
+                if self.target.model_icache:
+                    raise EngineError(
+                        "trace capture records the D-side seam only; "
+                        "disable model_icache"
+                    )
+                l1c = self.target.l1
+                self._capture = _tcapture.TraceRecorder(self.target.num_cores)
+                self._capture_header = {
+                    "flavor": "program",
+                    "program_digest": _tformat.program_digest(program),
+                    "source": source,
+                    "l1": {
+                        "size_bytes": l1c.size_bytes, "block_bytes": l1c.block_bytes,
+                        "assoc": l1c.assoc, "hit_latency": l1c.hit_latency,
+                    },
+                }
+        elif trace_mode == "replay":
+            trace = _tformat.read_trace(self.sim.trace_path)
+            if trace.num_cores != self.target.num_cores:
+                raise EngineError(
+                    f"trace was captured on {trace.num_cores} cores; "
+                    f"this target has {self.target.num_cores}"
+                )
+            if trace.flavor == "trace":
+                if trace_cores is not None:
+                    raise EngineError(
+                        "replaying a trace-flavor file replaces trace_cores; "
+                        "pass one or the other"
+                    )
+                from repro.trace.replay import rebuild_trace_cores
+
+                trace_cores = rebuild_trace_cores(trace)
+                program = None
+            else:
+                if trace_cores is not None:
+                    raise EngineError(
+                        "a program-flavor trace cannot replay into trace cores"
+                    )
+                if program is not None:
+                    # The validity key: replaying against a program whose
+                    # digest differs from the recorded one is refused outright.
+                    digest = _tformat.program_digest(program)
+                    recorded = trace.header.get("program_digest")
+                    if digest != recorded:
+                        raise EngineError(
+                            f"stale trace {self.sim.trace_path!r}: recorded "
+                            f"program digest {str(recorded)[:16]}… does not match "
+                            f"this program ({digest[:16]}…) — re-capture"
+                        )
+                self._replay_ops = trace.core_ops
         self.counters = ViolationCounters()
         self.tracker = (
             WordOrderTracker(self.counters, self.sim.fastforward)
@@ -166,6 +266,26 @@ class SequentialEngine:
             self.cores = [CoreThread(i, model) for i, model in enumerate(trace_cores)]
             for ct in self.cores:
                 ct.model.emit = ct.outq.push  # type: ignore[attr-defined]
+        elif self._replay_ops is not None:
+            # Program-flavor replay: ReplayCores feed the recorded committed
+            # streams through the live engine/scheme/memory stack; the
+            # ReplaySystem re-enacts sync/threads/output from recorded,
+            # resolved arguments.  No image, no registers, no predecode.
+            from repro.trace.replay import ReplayCore, ReplaySystem
+
+            self.image = None
+            self.system = ReplaySystem(self.target.num_cores)
+            self.system.activate_context = self._activate_context
+            self.cores = []
+            for i in range(self.target.num_cores):
+                ct = CoreThread(i, None)
+                ct.model = ReplayCore(
+                    i, self._replay_ops[i], L1Cache(self.target.l1),
+                    ct.outq.push, self.system,
+                    word_tracker=self.tracker,
+                    fastforward=self.sim.fastforward,
+                )
+                self.cores.append(ct)
         else:
             if program is None:
                 raise EngineError("either a program or trace_cores is required")
@@ -215,6 +335,10 @@ class SequentialEngine:
         if trace_cores is not None:
             for ct in self.cores:
                 self._start_core(ct, pc=0, arg=0, ts=0)
+        elif self._replay_ops is not None:
+            # Replay starts like a program run: core 0 only; the recorded
+            # spawn ops activate the rest at their recorded commit points.
+            self._start_core(self.cores[0], pc=0, arg=0, ts=0)
         else:
             assert self.image is not None
             self._init_registers(0, tid=0)
@@ -234,7 +358,13 @@ class SequentialEngine:
 
             return InOrderCore(
                 core_id, program, self.image.memory, L1Cache(self.target.l1),
-                ct.outq.push, self.system, **common,
+                ct.outq.push, self.system,
+                tracer=(
+                    self._capture.cores[core_id]
+                    if self._capture is not None
+                    else None
+                ),
+                **common,
             )
         if self.target.core_model == "ooo":
             from repro.cpu.ooo import OoOCore
@@ -554,10 +684,12 @@ class SequentialEngine:
     def _activate_context(self, core: int, pc: int, arg: int, ts: int) -> None:
         """SystemEmulation spawn hook: start a workload thread on *core*."""
         assert self.system is not None
-        tid = next(
-            t.tid for t in self.system.threads.values() if t.core == core and t.state == "running"
-        )
-        self._init_registers(core, tid)
+        if self.image is not None:
+            # Replay cores carry no architectural state to initialize.
+            tid = next(
+                t.tid for t in self.system.threads.values() if t.core == core and t.state == "running"
+            )
+            self._init_registers(core, tid)
         self._start_core(self.cores[core], pc, arg, ts)
         self._active_cores += 1
         self._pending_activations.append(core)
@@ -1224,6 +1356,19 @@ class SequentialEngine:
         lines.append(f"  gq={len(self.manager.gq)}")
         raise EngineError("\n".join(lines))
 
+    def _write_capture(self) -> None:
+        """Seal and atomically write the armed capture (once, on completion)."""
+        from repro.trace.format import write_trace
+
+        streams = (
+            self._capture.finish()
+            if self._capture is not None
+            else self._capture_streams
+        )
+        assert self.sim.trace_path is not None and streams is not None
+        write_trace(self.sim.trace_path, self._capture_header, streams)
+        self._capture_header = None
+
     # ---------------------------------------------------------------- result
     def _build_result(self, completed: bool) -> SimulationResult:
         """Thin view over the stats registry.
@@ -1235,6 +1380,8 @@ class SequentialEngine:
         caller never inspects stats — the perf benches — pay nothing.
         """
         self._completed = completed
+        if completed and self._capture_header is not None:
+            self._write_capture()
         core_results = []
         for ct in self.cores:
             if not ct.ever_active:

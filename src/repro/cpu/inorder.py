@@ -26,6 +26,7 @@ from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
 from repro.isa.opcodes import Op
 from repro.isa.program import TEXT_BASE, Program
 from repro.sysapi.system import SysAction, SystemEmulation
+from repro.trace.capture import mem_acc, record_syscall
 from repro.violations.detect import WordOrderTracker
 
 __all__ = ["InOrderCore"]
@@ -60,6 +61,7 @@ class InOrderCore:
         word_tracker: WordOrderTracker | None = None,
         fastforward: bool = False,
         dispatch: str = "predecoded",
+        tracer=None,
     ) -> None:
         self.core_id = core_id
         self.program = program
@@ -70,6 +72,9 @@ class InOrderCore:
         self.system = system
         self.word_tracker = word_tracker
         self.fastforward = fastforward
+        # Optional trace-capture recorder (repro.trace.capture.CoreRecorder).
+        # None on direct runs: every commit site pays one `is not None` check.
+        self._rec = tracer
 
         self.state: ArchState | None = None
         self.phase = CorePhase.IDLE
@@ -250,6 +255,8 @@ class InOrderCore:
         self._busy_until = now + n - 1
         self._ifetch_ok_pc = -1
         self.committed += n
+        if self._rec is not None:
+            self._rec.run_n(n)
         return n
 
     # ----------------------------------------------------------------- step
@@ -320,6 +327,8 @@ class InOrderCore:
                 self._busy_until = now + self._latencies[index] - 1
                 self._ifetch_ok_pc = -1
                 self.committed += 1
+                if self._rec is not None:
+                    self._rec.run(self._latencies[index])
                 return 1, True
             if kind == K_ECALL:
                 return self._execute_syscall(now)
@@ -327,6 +336,8 @@ class InOrderCore:
                 state.halted = True
                 self.phase = CorePhase.HALTED
                 self.committed += 1
+                if self._rec is not None:
+                    self._rec.halt()
                 return 1, True
             return self._execute_mem(self._text[index], now, self._eas[index](state.x))
 
@@ -341,11 +352,15 @@ class InOrderCore:
         if outcome.is_halt:
             self.phase = CorePhase.HALTED
             self.committed += 1
+            if self._rec is not None:
+                self._rec.halt()
             return 1, True
         state.pc = state.pc + INSTRUCTION_BYTES if outcome.next_pc is NEXT else outcome.next_pc
         self._busy_until = now + info.latency - 1
         self._ifetch_ok_pc = -1
         self.committed += 1
+        if self._rec is not None:
+            self._rec.run(info.latency)
         return 1, True
 
     def _execute_mem(self, insn: Instruction, now: int, addr: int | None = None) -> tuple[int, bool]:
@@ -353,6 +368,8 @@ class InOrderCore:
         info = insn.info
         if addr is None:
             addr = effective_address(self.state, insn)
+        if self._rec is not None:
+            self._rec.mem(mem_acc(info), info.latency, addr)
         is_write = info.is_store  # AMOs count as writes for coherence
         result = self.l1d.access(addr, is_write)
         if result is AccessResult.HIT:
@@ -428,7 +445,16 @@ class InOrderCore:
 
     def _execute_syscall(self, now: int) -> tuple[int, bool]:
         assert self.state is not None
+        rec = self._rec
+        if rec is not None:
+            # Snapshot the argument registers before the emulation mutates
+            # them (spawn writes the tid into a0); recorded post-call so the
+            # resolved result (assigned tid/core) is available.
+            x = self.state.x
+            num, a0, a1, fa0 = x[17], x[10], x[11], self.state.f[10]
         result = self.system.syscall(self.core_id, self.state, now)
+        if rec is not None:
+            record_syscall(rec, num, a0, a1, fa0, self.system, self.state)
         if result.wakes:
             self.pending_wakes.extend(result.wakes)
         if result.action is SysAction.EXIT:

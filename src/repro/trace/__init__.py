@@ -1,0 +1,16 @@
+"""Trace capture + replay (DESIGN.md §11).
+
+Record the scheme-invariant committed-op stream of one workload execution
+once (:mod:`repro.trace.capture`, hooked at the timing-core → memory seam),
+then re-simulate it under any scheme / slack window / memory configuration
+without re-executing the functional cores (:mod:`repro.trace.replay`).
+The on-disk format lives in :mod:`repro.trace.format`; sweep-facing
+content-keyed storage in :mod:`repro.trace.store`.
+"""
+
+from repro.trace.format import Trace, TraceError, program_digest, read_trace, trace_info, write_trace
+
+__all__ = [
+    "Trace", "TraceError", "program_digest", "read_trace", "trace_info",
+    "write_trace",
+]

@@ -1,0 +1,46 @@
+"""Content-keyed trace store inside the ``.repro_cache/`` directory.
+
+Traces live alongside the compile cache (the directory layout is documented
+in DESIGN.md §6) under ``<cache>/traces/<key>.trace``, keyed by a SHA-256
+over the capture's validity tuple: the program's content digest, the
+workload-configuration description, and the workload seed.  The simulation
+scheme is deliberately *not* part of the key — the recorded stream is
+scheme-invariant, which is the whole point: one functional capture serves
+every (scheme, window, memory-config) replay of the same execution.
+
+``REPRO_CACHE_DIR`` overrides the root exactly as for compiled programs;
+the empty string disables the store (``trace_store_path`` returns ``None``
+and sweep callers fall back to direct execution).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lang.compiler import cache_dir
+
+__all__ = ["trace_key", "trace_store_path"]
+
+
+def trace_key(program_digest: str, source: dict | None, seed: int) -> str:
+    """Validity key of one functional execution: (program, workload, seed)."""
+    h = hashlib.sha256()
+    h.update(program_digest.encode())
+    h.update(b"\x00")
+    h.update(json.dumps(source or {}, sort_keys=True).encode())
+    h.update(b"\x00")
+    h.update(str(seed).encode())
+    return h.hexdigest()
+
+
+def trace_store_path(key: str) -> Path | None:
+    """Where the trace for *key* lives (directory created), or ``None``
+    when on-disk caching is disabled via ``REPRO_CACHE_DIR=""``."""
+    root = cache_dir()
+    if root is None:
+        return None
+    traces = root / "traces"
+    traces.mkdir(parents=True, exist_ok=True)
+    return traces / f"{key}.trace"

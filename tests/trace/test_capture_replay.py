@@ -1,0 +1,171 @@
+"""Capture → replay equivalence tests (DESIGN.md §11).
+
+The contract under test is **replay transparency**: a run replayed from a
+captured trace must produce a stats digest byte-identical to a direct run
+under the identical (scheme, scheduling, backend, mem_domains) config —
+for every scheme family, because the trace records only the committed-op
+stream at the core → memory seam and everything scheme-dependent (windows,
+violations, coherence, sync outcomes) is re-enacted live.
+
+The flip side is **capture invariance**: because nothing pacing-dependent
+is recorded, capturing the same workload under different schemes and sim
+seeds must yield byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import run_simulation
+from repro.core.checkpoint import load_checkpoint
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.core.engine import EngineError, SequentialEngine
+from repro.trace import TraceError, read_trace
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import sharing_workload
+
+#: One representative per scheme family (Table 2): cycle-count, quantum,
+#: slack, unbounded.
+SCHEMES = ["cc", "q3", "s2", "su"]
+
+
+@pytest.fixture(scope="module")
+def fft():
+    return make_workload("fft", scale="tiny").program
+
+
+@pytest.fixture(scope="module")
+def fft_trace(fft, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "fft.trace")
+    result = run_simulation(
+        fft, sim=SimConfig(scheme="cc", seed=1, trace_mode="capture",
+                           trace_path=path))
+    assert result.completed
+    return path
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("scheduling", ["dynamic", "static"])
+@pytest.mark.parametrize("backend,mem_domains",
+                         [("sequential", 1), ("threaded", 4)])
+def test_replay_digest_matches_direct(fft, fft_trace, scheme, scheduling,
+                                      backend, mem_domains):
+    sim = dict(scheme=scheme, seed=1, scheduling=scheduling,
+               backend=backend, mem_domains=mem_domains)
+    direct = run_simulation(fft, sim=SimConfig(**sim))
+    replay = run_simulation(
+        fft, sim=SimConfig(trace_mode="replay", trace_path=fft_trace, **sim))
+    assert direct.completed and replay.completed
+    # Full-dump equality, not just the digest: this is what makes traced
+    # sweep JSON byte-identical to the non-traced runner's.
+    assert replay.stats == direct.stats
+    assert replay.stats_sha256 == direct.stats_sha256
+
+
+def test_capture_is_scheme_and_seed_invariant(fft, tmp_path):
+    """Same workload captured under (cc, seed 1) and (s4, seed 9) is the
+    same file, byte for byte — the sim seed only jitters host costs and the
+    scheme only paces, neither reaches the committed stream."""
+    a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+    run_simulation(fft, sim=SimConfig(scheme="cc", seed=1,
+                                      trace_mode="capture", trace_path=str(a)))
+    run_simulation(fft, sim=SimConfig(scheme="s4", seed=9,
+                                      trace_mode="capture", trace_path=str(b)))
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_stale_trace_is_refused(fft_trace):
+    """Replaying against a different program is a hard error, not garbage:
+    the recorded streams describe a different execution."""
+    lu = make_workload("lu", scale="tiny").program
+    with pytest.raises(EngineError, match="digest"):
+        run_simulation(lu, sim=SimConfig(trace_mode="replay",
+                                         trace_path=fft_trace))
+
+
+def test_corrupt_trace_is_refused(fft_trace, tmp_path):
+    raw = bytearray(pathlib.Path(fft_trace).read_bytes())
+    raw[len(raw) // 2] ^= 0x40
+    bad = tmp_path / "bad.trace"
+    bad.write_bytes(bytes(raw))
+    with pytest.raises(TraceError, match="integrity"):
+        read_trace(str(bad))
+
+
+def test_replay_composes_with_checkpoints(fft, fft_trace, tmp_path):
+    """Checkpointing a replay run and resuming it stays digest-identical
+    to the uninterrupted direct run — the two subsystems compose."""
+    sim = dict(scheme="q3", seed=5)
+    direct = run_simulation(fft, sim=SimConfig(**sim))
+    ckpt = str(tmp_path / "replay.ckpt")
+    engine = SequentialEngine(
+        fft, sim=SimConfig(trace_mode="replay", trace_path=fft_trace,
+                           checkpoint_interval=2000, checkpoint_path=ckpt,
+                           **sim))
+    result = engine.run()
+    assert result.completed
+    assert result.stats_sha256 == direct.stats_sha256
+    assert pathlib.Path(ckpt).exists()
+    resumed = load_checkpoint(ckpt).run()
+    assert resumed.completed
+    assert resumed.stats_sha256 == direct.stats_sha256
+
+
+def test_capture_refuses_fault_injection(fft, tmp_path):
+    """A trace must record a clean execution; capture under fault injection
+    or instruction caps is refused rather than silently recorded."""
+    with pytest.raises(EngineError, match="capture"):
+        run_simulation(
+            fft, sim=SimConfig(trace_mode="capture",
+                               trace_path=str(tmp_path / "x.trace"),
+                               max_instructions=100))
+
+
+# ----------------------------------------------------------- trace flavor
+def _trace_flavor_sim(**kw):
+    return dict(
+        trace_cores=sharing_workload(4, 20, seed=1),
+        host=HostConfig(num_cores=4),
+        target=TargetConfig(num_cores=4, core_model="trace"),
+        sim=SimConfig(**kw),
+    )
+
+
+@pytest.fixture(scope="module")
+def sharing_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "sharing.trace")
+    result = run_simulation(
+        None, **_trace_flavor_sim(scheme="cc", seed=1, trace_mode="capture",
+                                  trace_path=path))
+    assert result.completed
+    assert read_trace(path).flavor == "trace"
+    return path
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_trace_flavor_replay_matches_direct(sharing_trace, scheme):
+    direct = run_simulation(None, **_trace_flavor_sim(scheme=scheme, seed=1))
+    kw = _trace_flavor_sim(scheme=scheme, seed=1, trace_mode="replay",
+                           trace_path=sharing_trace)
+    kw.pop("trace_cores")
+    replay = run_simulation(None, **kw)
+    assert replay.stats == direct.stats
+    assert replay.stats_sha256 == direct.stats_sha256
+
+
+def test_trace_flavor_replay_under_process_backend(sharing_trace):
+    """Trace-flavor replay rebuilds literal TraceCores, so the process
+    backend (which program-flavor replay refuses, matching direct runs)
+    keeps working and stays digest-identical."""
+    direct = run_simulation(
+        None, **_trace_flavor_sim(scheme="cc", seed=1, backend="process",
+                                  mem_domains=2))
+    kw = _trace_flavor_sim(scheme="cc", seed=1, backend="process",
+                           mem_domains=2, trace_mode="replay",
+                           trace_path=sharing_trace)
+    kw.pop("trace_cores")
+    replay = run_simulation(None, **kw)
+    assert replay.stats == direct.stats
+    assert replay.stats_sha256 == direct.stats_sha256

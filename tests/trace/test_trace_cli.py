@@ -1,0 +1,69 @@
+"""CLI surface of the trace subsystem: ``run --capture-trace/--replay-trace``
+and ``trace info``."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def captured(tmp_path, capsys):
+    path = str(tmp_path / "fft.trace")
+    assert main(["run", "--workload", "fft", "--scale", "tiny",
+                 "--capture-trace", path]) == 0
+    out = capsys.readouterr().out
+    assert "trace captured" in out and path in out
+    return path
+
+
+def test_run_replay_matches_direct_stats(captured, tmp_path, capsys):
+    direct = tmp_path / "direct.stats.json"
+    replay = tmp_path / "replay.stats.json"
+    assert main(["run", "--workload", "fft", "--scale", "tiny", "--scheme",
+                 "q3", "--stats-out", str(direct)]) == 0
+    assert main(["run", "--workload", "fft", "--scale", "tiny", "--scheme",
+                 "q3", "--replay-trace", captured,
+                 "--stats-out", str(replay)]) == 0
+    out = capsys.readouterr().out
+    assert "replayed from" in out
+    # The CI trace job leans on this: direct vs replay dumps diff clean.
+    assert main(["stats", "diff", str(direct), str(replay)]) == 0
+
+
+def test_capture_and_replay_are_mutually_exclusive(tmp_path, capsys):
+    assert main(["run", "--workload", "fft", "--scale", "tiny",
+                 "--capture-trace", str(tmp_path / "a.trace"),
+                 "--replay-trace", str(tmp_path / "b.trace")]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_trace_info(captured, capsys):
+    assert main(["trace", "info", captured]) == 0
+    out = capsys.readouterr().out
+    assert "flavor:" in out and "program" in out
+    assert "program digest:" in out
+    assert "sha256:" in out
+    assert "mem" in out  # op breakdown present
+
+
+def test_trace_info_rejects_garbage(tmp_path, capsys):
+    junk = tmp_path / "junk.trace"
+    junk.write_bytes(b"not a trace at all, nope" * 4)
+    assert main(["trace", "info", str(junk)]) == 1
+    assert capsys.readouterr().err.strip()
+
+
+def test_help_parity():
+    """Every trace flag documents itself: --help text exists for the new
+    run flags, the trace subcommand, and the sweep --trace toggle."""
+    parser = build_parser()
+    fmt = parser.format_help()
+    assert "trace" in fmt
+    run_help = next(
+        a for a in parser._subparsers._group_actions[0].choices.items()
+        if a[0] == "run")[1].format_help()
+    assert "--capture-trace" in run_help and "--replay-trace" in run_help
+    sweep_help = parser._subparsers._group_actions[0].choices["sweep"].format_help()
+    assert "--trace" in sweep_help
+    trace_help = parser._subparsers._group_actions[0].choices["trace"].format_help()
+    assert "info" in trace_help
