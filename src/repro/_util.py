@@ -1,5 +1,5 @@
 """Small shared utilities: deterministic RNG streams, bit manipulation,
-crash-safe file output.
+crash-safe file output, canonical content digests.
 
 Everything in the simulator that needs randomness derives it from a
 :class:`SeedSequenceFactory` so that a single ``SimConfig.seed`` makes the
@@ -11,10 +11,18 @@ compile cache, ``--stats-out`` dumps, sweep JSON documents and manifests,
 checkpoints, and bench reports.  A reader can never observe a truncated
 file: data lands in a same-directory tempfile first and is published with
 an atomic ``os.replace``.
+
+:func:`canonical_json` / :func:`sha256_hex` / :func:`output_digest` are the
+one content-identity vocabulary shared by every cache key in the system —
+job keys (DESIGN.md §12), trace-store keys (§11), per-point sweep seeds and
+output fingerprints all derive from them, so two subsystems can never
+fingerprint the same value differently.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import tempfile
 
@@ -24,6 +32,9 @@ __all__ = [
     "SeedStream",
     "atomic_write_bytes",
     "atomic_write_text",
+    "canonical_json",
+    "output_digest",
+    "sha256_hex",
     "sign_extend",
     "to_signed64",
     "to_unsigned64",
@@ -34,6 +45,44 @@ __all__ = [
 ]
 
 _MASK64 = (1 << 64) - 1
+
+
+def canonical_json(obj) -> str:
+    """The one canonical JSON rendering used for digests: sorted keys, no
+    whitespace.  Any structure digested through :func:`sha256_hex` must go
+    through here first so that key order and formatting can never leak into
+    a cache key."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(*parts: "str | bytes") -> str:
+    """SHA-256 hex digest over *parts* joined by NUL separators.
+
+    The NUL join makes the digest injective over the part boundaries
+    (``("ab", "c")`` and ``("a", "bc")`` hash differently).  Strings are
+    UTF-8 encoded; anything else must be rendered first (use
+    :func:`canonical_json` for structures).
+    """
+    h = hashlib.sha256()
+    for i, part in enumerate(parts):
+        if i:
+            h.update(b"\x00")
+        h.update(part if isinstance(part, bytes) else str(part).encode())
+    return h.hexdigest()
+
+
+def output_digest(output: list) -> str:
+    """Exact fingerprint of a workload output stream (floats via hex).
+
+    ``float.hex()`` round-trips every bit, so two streams digest equal iff
+    they are value-identical — the fingerprint sweeps, job records and the
+    numpy-oracle checks all compare.
+    """
+    h = hashlib.sha256()
+    for v in output:
+        h.update(v.hex().encode() if isinstance(v, float) else repr(v).encode())
+        h.update(b";")
+    return h.hexdigest()
 
 
 def atomic_write_bytes(path: "os.PathLike[str] | str", data: bytes) -> None:

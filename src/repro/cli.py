@@ -15,7 +15,13 @@ Subcommands::
     slacksim stats show run.stats.json
     slacksim stats diff a.stats.json b.stats.json
     slacksim trace info fft.trace
+    slacksim cache ls | info <key> | gc | clear
     slacksim schemes
+
+``run``, ``sweep``, ``bench`` and the figure/table commands all resolve
+through the content-addressed job layer (DESIGN.md §12): a request whose
+sealed record already sits in ``.repro_cache/results/`` is served from the
+store without simulating, byte-identically to a fresh run.
 """
 
 from __future__ import annotations
@@ -48,11 +54,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"stats ({args.stats_format}) -> {args.stats_out}")
         return 0
 
-    from repro.workloads import make_workload
-
     if args.capture_trace and args.replay_trace:
         print("--capture-trace and --replay-trace are mutually exclusive", file=sys.stderr)
         return 2
+    if args.capture_trace or args.faults or args.checkpoint or args.checkpoint_interval:
+        # Side-effecting runs (a capture file, a checkpoint stream) and
+        # fault-injected runs stay on the direct engine path: their point is
+        # the side effect / perturbation, not a memoisable result.
+        return _run_direct(args)
+
+    from repro.jobs import JobSpec, ResultStore, execute, record_summary
+    from repro.stats.registry import dump_to_csv
+
+    spec = JobSpec.build(
+        args.workload,
+        args.scale,
+        scheme=args.scheme,
+        seed=args.seed,
+        host_cores=args.host_cores,
+        core_model=args.core_model,
+        fastforward=args.fastforward,
+        scheduling="static" if args.static_schedule else "dynamic",
+        stats_interval=args.stats_interval,
+        host_timeout=args.host_timeout,
+        backend=args.backend,
+        mem_domains=args.mem_domains,
+    )
+    try:
+        # An explicit --replay-trace bypasses the store read (refresh): the
+        # user asked to exercise replay, so replay must actually run.
+        outcome = execute(
+            spec,
+            store=ResultStore.default(),
+            trace=args.replay_trace if args.replay_trace else "auto",
+            refresh=bool(args.replay_trace),
+        )
+    except AssertionError as exc:
+        print("OUTPUT MISMATCH:")
+        print(f"  {exc}")
+        return 1
+    record = outcome.record
+    print(record_summary(record))
+    if outcome.hit:
+        print(f"served from result store ({outcome.key[:16]}…)")
+    if args.replay_trace:
+        print(f"replayed from {args.replay_trace} (functional cores not re-executed)")
+    if args.stats_out:
+        text = (
+            dump_to_csv(record["stats"])
+            if args.stats_format == "csv"
+            else record["stats_dump"]
+        )
+        atomic_write_text(args.stats_out, text)
+        print(f"stats ({args.stats_format}) -> {args.stats_out}")
+    print(
+        "output verified against the numpy oracle "
+        f"({record['metrics']['output_len']} values)"
+    )
+    if args.verbose:
+        for core in record["cores"]:
+            ipc = core["committed"] / core["cycles"] if core["cycles"] else 0.0
+            print(
+                f"  core {core['core']}: {core['committed']} instr / {core['cycles']} cyc "
+                f"(IPC {ipc:.2f}), L1 misses {core['l1_misses']}/{core['l1_accesses']}"
+            )
+    return 0
+
+
+def _run_direct(args: argparse.Namespace) -> int:
+    """The non-job-addressable ``run`` path: captures, checkpoints, faults."""
+    from repro.workloads import make_workload
+
     trace_mode = "off"
     trace_path = None
     trace_source = None
@@ -61,8 +133,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         trace_mode, trace_path = "capture", args.capture_trace
         trace_source = json.dumps({"workload": args.workload, "scale": args.scale})
-    elif args.replay_trace:
-        trace_mode, trace_path = "replay", args.replay_trace
 
     workload = make_workload(args.workload, scale=args.scale)
     result = run_simulation(
@@ -89,8 +159,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(result.summary())
     if args.capture_trace:
         print(f"trace captured -> {args.capture_trace}")
-    if args.replay_trace:
-        print(f"replayed from {args.replay_trace} (functional cores not re-executed)")
     if args.faults:
         print(f"faults injected: {result.stats.get('faults.injected', 0)} "
               f"(plan: {args.faults})")
@@ -169,12 +237,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.manifest_dir:
         print("sweep --resume requires --manifest-dir", file=sys.stderr)
         return 2
+    telemetry: dict = {}
     payload = run_sweep(
         args.experiment, jobs=args.jobs, scale=args.scale, base_seed=args.seed,
         manifest_dir=args.manifest_dir, resume=args.resume,
-        max_retries=args.max_retries, trace=args.trace,
+        max_retries=args.max_retries, trace=args.trace, telemetry=telemetry,
     )
     text = sweep_to_json(payload)
+    # Telemetry goes to stderr: how points were served (store hit vs run vs
+    # manifest resume) must never leak into the byte-stable sweep document.
+    print(
+        f"sweep {args.experiment}: store_hits={telemetry.get('store_hits', 0)} "
+        f"store_misses={telemetry.get('store_misses', 0)} "
+        f"manifest_resumed={telemetry.get('manifest_resumed', 0)}",
+        file=sys.stderr,
+    )
     if args.out:
         atomic_write_text(args.out, text)
         print(f"{args.experiment}: {len(payload['points'])} points -> {args.out}")
@@ -184,31 +261,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.cpu.interp import run_functional
-    from repro.workloads import make_workload
-
-    program = make_workload(args.workload, scale=args.scale, nthreads=1).program
-
     if args.profile:
         import cProfile
         import pstats
 
+        from repro.cpu.interp import run_functional
+        from repro.workloads import make_workload
+
+        program = make_workload(args.workload, scale=args.scale, nthreads=1).program
         profiler = cProfile.Profile()
         profiler.enable()
         result = run_functional(program, dispatch=args.dispatch)
         profiler.disable()
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     else:
-        import time
+        from repro.jobs import JobSpec, ResultStore, execute_functional
 
-        t0 = time.perf_counter()
-        result = run_functional(program, dispatch=args.dispatch)
-        elapsed = time.perf_counter() - t0
+        spec = JobSpec.build(
+            args.workload, args.scale, mode="functional",
+            workload_args={"nthreads": 1},
+        )
+        # Always runs (wall time is the product); the store provides the
+        # cross-run determinism check, not a shortcut.
+        outcome = execute_functional(
+            spec, store=ResultStore.default(), dispatch=args.dispatch
+        )
+        result = outcome.result
+        provenance = outcome.record["provenance"]
         print(
             f"{args.workload} ({args.scale}, {args.dispatch}): "
-            f"{result.instructions} instructions in {elapsed:.3f}s "
-            f"= {result.instructions / elapsed / 1000.0:.1f} KIPS"
+            f"{result.instructions} instructions in "
+            f"{provenance['wall_time_s']:.3f}s = {provenance['kips']:.1f} KIPS"
         )
+        for line in outcome.drift:
+            print(f"warning: drift against stored record — {line}")
     if result.exit_code not in (0, None):
         print(f"warning: workload exited with code {result.exit_code}")
         return 1
@@ -253,6 +339,74 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except TraceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.jobs import ResultStore
+
+    store = ResultStore.default()
+    if store is None:
+        print("result store disabled (REPRO_CACHE_DIR is empty)", file=sys.stderr)
+        return 2
+
+    if args.action == "ls":
+        entries = store.entries()
+        for key, record in entries:
+            if record is None:
+                print(f"{key[:16]}  INVALID")
+                continue
+            spec = record["spec"]
+            wl = spec["workload"]
+            what = f"{wl['name']}/{wl['scale']}"
+            if spec["mode"] == "timing":
+                what += (
+                    f" {spec['sim']['scheme']} h{spec['host']['num_cores']}"
+                    f" seed={spec['sim']['seed']}"
+                )
+            engine = record.get("provenance", {}).get("engine", "?")
+            print(f"{key[:16]}  {spec['mode']:10s} {what}  [{engine}]")
+        print(f"{len(entries)} record(s) in {store.root}")
+        return 0
+
+    if args.action == "info":
+        if not args.key:
+            print("cache info needs a job key (or unique prefix)", file=sys.stderr)
+            return 2
+        matches = [k for k in store.keys() if k.startswith(args.key)]
+        if len(matches) != 1:
+            print(
+                f"key prefix {args.key!r} matches {len(matches)} record(s)",
+                file=sys.stderr,
+            )
+            return 1
+        record = store.load(matches[0])
+        if record is None:
+            print(f"record {matches[0]} is invalid (failed its seal)", file=sys.stderr)
+            return 1
+        # The verbatim stats document is bulky and reproducible from
+        # "stats"; elide it from the human view.
+        view = {k: v for k, v in record.items() if k != "stats_dump"}
+        print(json.dumps(view, indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "gc":
+        from repro.lang.compiler import toolchain_fingerprint
+
+        dropped = store.gc(
+            toolchain=toolchain_fingerprint(), dry_run=args.dry_run
+        )
+        verb = "would drop" if args.dry_run else "dropped"
+        for key in dropped:
+            print(f"{verb} {key[:16]}")
+        print(f"{verb} {len(dropped)} record(s) (invalid or stale toolchain)")
+        return 0
+
+    # clear
+    removed = store.clear()
+    print(f"removed {removed} record(s) from {store.root}")
     return 0
 
 
@@ -389,6 +543,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a trace's header, op counts, source and sha256")
     trace.add_argument("file", help="trace file (written by run --capture-trace)")
     trace.set_defaults(func=_cmd_trace)
+
+    cache = sub.add_parser(
+        "cache", help="inspect / maintain the content-addressed result store"
+    )
+    cache.add_argument(
+        "action", choices=("ls", "info", "gc", "clear"),
+        help="ls: list records; info: print one record (by key prefix); "
+        "gc: drop invalid + stale-toolchain records; clear: drop everything",
+    )
+    cache.add_argument("key", nargs="?", help="job key (or unique prefix) for info")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="gc: report what would be dropped without deleting")
+    cache.set_defaults(func=_cmd_cache)
 
     schemes = sub.add_parser("schemes", help="list supported slack schemes")
     schemes.set_defaults(func=_cmd_schemes)

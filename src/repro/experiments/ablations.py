@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import HostConfig, SimConfig, TargetConfig
-from repro.core.engine import SequentialEngine
+from repro.core.config import TargetConfig
 from repro.experiments.common import Runner
+from repro.experiments.parallel import ABLATION_SLACKS, build_points, point_key
 from repro.stats.tables import Table
 
 __all__ = [
@@ -52,36 +52,47 @@ def _total_violations(result) -> int:
 
 def run_slack_sweep(
     workload: str = "fft",
-    slacks: tuple[int, ...] = (1, 4, 9, 25, 100, 400),
+    slacks: tuple[int, ...] = ABLATION_SLACKS,
     *,
     host_cores: int = 8,
     runner: Runner | None = None,
 ) -> list[SweepPoint]:
-    """A1: bounded slack sweep — speedup and error vs the slack bound."""
+    """A1: bounded slack sweep — speedup and error vs the slack bound.
+
+    The grid comes from :func:`repro.experiments.parallel.build_points`
+    ("ablations") — the same points ``repro sweep ablations`` runs, so the
+    two share stored records; the slack bounds default to the sweep's
+    :data:`~repro.experiments.parallel.ABLATION_SLACKS`.
+    """
     runner = runner or Runner()
-    gold = runner.run(workload, "cc", host_cores)
-    base = runner.baseline(workload)
-    points = []
-    for slack in slacks:
-        result = runner.run(workload, f"s{slack}", host_cores)
-        points.append(
-            SweepPoint(
-                label=f"s{slack}",
-                speedup=result.speedup_over(base),
-                error=result.error_vs(gold),
-                violations=_total_violations(result),
-            )
-        )
-    result = runner.run(workload, "su", host_cores)
-    points.append(
-        SweepPoint(
-            label="su",
-            speedup=result.speedup_over(base),
-            error=result.error_vs(gold),
-            violations=_total_violations(result),
-        )
+    grid = build_points(
+        "ablations", runner.scale, runner.seed,
+        workload=workload, slacks=slacks, host_cores=host_cores,
     )
-    return points
+    docs = {point_key(p): runner.point(p) for p in grid}
+    base = docs[f"{workload}/cc/h1"]
+    gold = docs[f"{workload}/cc/h{host_cores}"]
+
+    def _point(scheme: str) -> SweepPoint:
+        doc = docs[f"{workload}/{scheme}/h{host_cores}"]
+        return SweepPoint(
+            label=scheme,
+            speedup=(
+                base["host_time"] / doc["host_time"]
+                if doc["host_time"]
+                else float("inf")
+            ),
+            error=(
+                abs(doc["execution_cycles"] - gold["execution_cycles"])
+                / gold["execution_cycles"]
+                if gold["execution_cycles"]
+                else 0.0
+            ),
+            violations=doc["violations"],
+            workload_violations=doc["workload_violations"],
+        )
+
+    return [_point(f"s{slack}") for slack in slacks] + [_point("su")]
 
 
 def run_critical_latency_sweep(
@@ -154,16 +165,10 @@ def run_coremodel_ablation(
     orderings = {}
     for model in ("inorder", "ooo"):
         target = TargetConfig(core_model=model)
-        w = runner.workload(workload)
-        times = {}
-        for scheme in schemes:
-            engine = SequentialEngine(
-                w.program,
-                target=target,
-                host=HostConfig(num_cores=host_cores),
-                sim=SimConfig(scheme=scheme, seed=runner.seed),
-            )
-            times[scheme] = engine.run().host_time
+        times = {
+            scheme: runner.run(workload, scheme, host_cores, target=target).host_time
+            for scheme in schemes
+        }
         orderings[model] = sorted(schemes, key=lambda s: times[s], reverse=True)
     return orderings
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.common import BENCHMARKS, HOST_COUNTS, SCHEMES, Runner
+from repro.experiments.parallel import build_points, point_key
 from repro.stats.metrics import harmonic_mean
 from repro.stats.tables import Table
 
@@ -45,20 +46,31 @@ def run_figure8(
     host_counts: tuple[int, ...] = HOST_COUNTS,
     benchmarks: tuple[str, ...] = BENCHMARKS,
 ) -> Figure8Data:
-    """Run the full Figure 8 grid (plus the cc@1 baselines)."""
+    """Run the full Figure 8 grid (plus the cc@1 baselines).
+
+    The point list comes from :func:`repro.experiments.parallel.build_points`
+    — the same grid authority ``repro sweep figure8`` uses — so the figure's
+    job identities are exactly the sweep's and one warms the store for the
+    other.
+    """
     runner = runner or Runner()
+    points = build_points(
+        "figure8", runner.scale, runner.seed,
+        benchmarks=benchmarks, schemes=schemes, host_counts=host_counts,
+    )
+    docs = {point_key(p): runner.point(p) for p in points}
     data = Figure8Data(schemes=schemes, host_counts=host_counts, benchmarks=benchmarks)
     for bench in benchmarks:
-        base = runner.baseline(bench)
+        base = docs[f"{bench}/cc/h1"]
         data.speedup[bench] = {}
         for scheme in schemes:
             data.speedup[bench][scheme] = {}
             for hosts in host_counts:
-                result = runner.run(bench, scheme, hosts)
+                doc = docs[f"{bench}/{scheme}/h{hosts}"]
                 # Makespans come off the stats registry dumps of both runs.
                 data.speedup[bench][scheme][hosts] = (
-                    base.stats["host.makespan"] / result.stats["host.makespan"]
-                    if result.stats["host.makespan"]
+                    base["host_time"] / doc["host_time"]
+                    if doc["host_time"]
                     else float("inf")
                 )
     for scheme in schemes:

@@ -14,24 +14,29 @@ whatever the job count** (``--jobs 1`` serial in-process vs ``--jobs N``):
 * merging orders points by their config key and the document is rendered
   with ``sort_keys=True``, so encounter order cannot leak into the bytes.
 
-Workers warm the on-disk compile cache (:mod:`repro.lang.compiler`), so N
-workers compiling the same benchmark pay one compile between them (first
-writer wins; the rest hit the cache).
+Every point resolves through the content-addressed job layer
+(:mod:`repro.jobs`, DESIGN.md §12): ``run_point`` wraps its
+:class:`PointSpec` into a :class:`JobSpec` and calls ``execute()``, so a
+point whose record already sits in ``.repro_cache/results/`` is a store
+lookup, not a simulation — a repeated sweep is served entirely from the
+store and still renders byte-identical JSON.  Workers also share the
+on-disk compile cache, so N workers compiling the same benchmark pay one
+compile between them.
 
 **Resumable sweeps** (DESIGN.md §8): with ``manifest_dir`` set, every
 finished point is written atomically to its own manifest file, and
-``resume=True`` reloads finished points instead of re-running them.  Because
-each point's metric document is a pure function of its spec, a resumed sweep
-renders **byte-identically** to an uninterrupted one — a killed sweep loses
-at most the in-flight points.  Crashed workers (a died process takes the
-whole ``ProcessPoolExecutor`` down) are retried with a fresh pool and
-exponential backoff, bounded by ``max_retries`` per point; genuine point
-errors (a failed simulation) propagate immediately, they are never retried.
+``resume=True`` reloads finished points instead of re-running them.  The
+manifest is a *view of the store record* (the same document ``execute()``'s
+record reduces to), so a resumed sweep renders **byte-identically** to an
+uninterrupted one — a killed sweep loses at most the in-flight points.
+Crashed workers (a died process takes the whole ``ProcessPoolExecutor``
+down) are retried with a fresh pool and exponential backoff, bounded by
+``max_retries`` per point; genuine point errors (a failed simulation)
+propagate immediately, they are never retried.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import time
@@ -40,18 +45,22 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro._util import atomic_write_text
-from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro._util import atomic_write_text, sha256_hex
+from repro.core.config import SimConfig
 from repro.core.engine import SequentialEngine
 from repro.experiments.common import BENCHMARKS, HOST_COUNTS, SCHEMES, default_scale
 
 __all__ = [
+    "ABLATION_SLACKS",
     "PointSpec",
     "SWEEP_EXPERIMENTS",
     "SweepError",
+    "TABLE3_SCHEMES",
     "build_points",
     "derive_seed",
     "manifest_path",
+    "point_document",
+    "point_job",
     "point_key",
     "run_point",
     "run_sweep",
@@ -66,7 +75,8 @@ class SweepError(RuntimeError):
 #: (workload, scale) -> trace file path for the current sweep.  Set in the
 #: parent before any point runs and shipped to workers via the executor
 #: initializer, so every process replays the same capture.  Empty when the
-#: sweep runs without trace reuse — points then execute directly.
+#: sweep runs without trace reuse — points then fall back to the job
+#: layer's own store-driven replay discovery.
 _TRACE_MAP: dict[tuple[str, str], str] = {}
 
 
@@ -120,15 +130,25 @@ def _capture_sweep_traces(specs: list["PointSpec"], base_seed: int) -> dict:
         trace_map[(wl_name, scale)] = str(path)
     return trace_map
 
-#: Slack bounds of the ablation (A1) sweep grid.
+#: Slack bounds of the ablation (A1) sweep grid — single-sourced here;
+#: :mod:`repro.experiments.ablations` builds the same grid through
+#: :func:`build_points`.
 ABLATION_SLACKS = (1, 4, 9, 25, 100, 400)
+
+#: Table 3's scheme columns (error + conservative), in grid order.
+TABLE3_SCHEMES = ("cc", "s9", "s100", "su", "q10", "l10", "s9*")
 
 SWEEP_EXPERIMENTS = ("figure8", "table3", "ablations")
 
 
 @dataclass(frozen=True)
 class PointSpec:
-    """One independent simulation point (picklable; sent to workers)."""
+    """One independent simulation point (picklable; sent to workers).
+
+    A thin grid-coordinate view over :class:`repro.jobs.JobSpec`:
+    :func:`point_job` is the (total) mapping onto the canonical job
+    identity, and every field here is digest-relevant there.
+    """
 
     workload: str
     scheme: str
@@ -141,10 +161,8 @@ class PointSpec:
 
 def derive_seed(base_seed: int, workload: str, scheme: str, host_cores: int) -> int:
     """Per-point seed, stable across runs and independent of worker identity."""
-    digest = hashlib.sha256(
-        f"{base_seed}:{workload}:{scheme}:{host_cores}".encode()
-    ).digest()
-    return 1 + int.from_bytes(digest[:4], "little") % (2**31 - 1)
+    digest = sha256_hex(f"{base_seed}:{workload}:{scheme}:{host_cores}")
+    return 1 + int.from_bytes(bytes.fromhex(digest[:8]), "little") % (2**31 - 1)
 
 
 def point_key(spec: PointSpec) -> str:
@@ -155,71 +173,78 @@ def point_key(spec: PointSpec) -> str:
     return key
 
 
-def _output_digest(output: list) -> str:
-    """Exact fingerprint of the workload output stream (floats via hex)."""
-    h = hashlib.sha256()
-    for v in output:
-        h.update(v.hex().encode() if isinstance(v, float) else repr(v).encode())
-        h.update(b";")
-    return h.hexdigest()
+def point_job(spec: PointSpec):
+    """The canonical job identity of one grid point."""
+    from repro.jobs import JobSpec
+
+    return JobSpec(
+        workload=spec.workload,
+        scale=spec.scale,
+        scheme=spec.scheme,
+        seed=spec.seed,
+        host_cores=spec.host_cores,
+        core_model=spec.core_model,
+        fastforward=spec.fastforward,
+    )
 
 
-def run_point(spec: PointSpec) -> dict:
-    """Simulate one point and return its JSON-safe metrics.
+def point_document(spec: PointSpec, record: dict) -> dict:
+    """A sweep point's JSON document, reduced from a job-store record.
+
+    Pure function of (spec, record) with only deterministic record fields
+    — provenance (wall times, trace paths) never leaks in, which is what
+    keeps a store-served sweep byte-identical to a cold one.
+    """
+    metrics = record["metrics"]
+    return {
+        "spec": asdict(spec),
+        "completed": record["completed"],
+        "execution_cycles": metrics["execution_cycles"],
+        "global_time": metrics["global_time"],
+        "instructions": metrics["instructions"],
+        "host_time": metrics["host_time"],
+        "kips": metrics["kips"],
+        "violations": metrics["violations"],
+        "workload_violations": metrics["workload_violations"],
+        "output_sha256": record["output_sha256"],
+        "stats": record["stats"],
+        "stats_digest": record["stats_digest"],
+    }
+
+
+def _run_point_ex(spec: PointSpec) -> tuple[dict, bool]:
+    """Resolve one point through the job layer: (document, store_hit).
 
     Module-level (picklable) so ProcessPoolExecutor can ship it to workers;
     also the serial path, so jobs=1 and jobs=N run the identical code.
     """
     _maybe_crash(spec)
-    from repro.workloads.registry import make_workload
+    from repro.jobs import ResultStore, execute
 
-    workload = make_workload(spec.workload, scale=spec.scale)
-    # Trace reuse: replay the sweep's shared capture instead of re-executing
-    # the functional cores.  Replay is observationally identical to direct
-    # execution (same stats dump, same output), so the point document — and
-    # therefore the sweep JSON — is byte-identical either way.
     trace_path = (
         _TRACE_MAP.get((spec.workload, spec.scale))
         if spec.core_model == "inorder"
         else None
     )
-    engine = SequentialEngine(
-        workload.program,
-        target=TargetConfig(core_model=spec.core_model),
-        host=HostConfig(num_cores=spec.host_cores),
-        sim=SimConfig(
-            scheme=spec.scheme, seed=spec.seed, fastforward=spec.fastforward,
-            trace_mode="replay" if trace_path is not None else "off",
-            trace_path=trace_path,
-        ),
-    )
-    result = engine.run()
-    problems = workload.mismatches(result.output)
-    if problems:
-        raise AssertionError(
-            f"{spec.workload} mis-executed under {spec.scheme}: " + "; ".join(problems)
-        )
-    # Metrics come off the run's registry dump — one deterministic document
-    # per point, the same bytes whatever worker produced it.
-    stats = result.stats
-    return {
-        "spec": asdict(spec),
-        "completed": result.completed,
-        "execution_cycles": stats["target.execution_cycles"],
-        "global_time": stats["target.global_time"],
-        "instructions": stats["target.instructions"],
-        "host_time": stats["host.makespan"],
-        "kips": result.kips,
-        "violations": (
-            stats["violations.simulation_state"]
-            + stats["violations.system_state"]
-            + stats["violations.workload_state"]
-        ),
-        "workload_violations": stats["violations.workload_state"],
-        "output_sha256": _output_digest(result.output),
-        "stats": stats,
-        "stats_digest": result.stats_sha256,
-    }
+    store = ResultStore.default()
+    if trace_path is not None:
+        from repro.core.engine import EngineError
+        from repro.trace.format import TraceError
+
+        try:
+            outcome = execute(point_job(spec), store=store, trace=trace_path)
+        except (EngineError, TraceError):
+            # The sweep's capture went stale under this point's config:
+            # degrade to a direct run rather than failing the point.
+            outcome = execute(point_job(spec), store=store, trace=None)
+    else:
+        outcome = execute(point_job(spec), store=store, trace="auto")
+    return point_document(spec, outcome.record), outcome.hit
+
+
+def run_point(spec: PointSpec) -> dict:
+    """Simulate (or serve from the result store) one point's document."""
+    return _run_point_ex(spec)[0]
 
 
 def _maybe_crash(spec: PointSpec) -> None:
@@ -252,7 +277,8 @@ def _load_manifest(path: Path, spec: PointSpec) -> dict | None:
 
     A manifest only counts when its embedded spec matches the current grid
     point exactly — a sweep resumed after changing seeds or scale silently
-    re-runs everything rather than mixing configurations.
+    re-runs everything rather than mixing configurations.  (A re-run is
+    still cheap: the point's record usually survives in the result store.)
     """
     try:
         with open(path) as fh:
@@ -274,14 +300,21 @@ def _store_manifest(manifest_dir: str | Path, spec: PointSpec, result: dict) -> 
 
 
 # ----------------------------------------------------------------- grids
-def _figure8_points(scale: str, base_seed: int) -> list[PointSpec]:
+def _figure8_points(
+    scale: str,
+    base_seed: int,
+    *,
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    schemes: tuple[str, ...] = SCHEMES,
+    host_counts: tuple[int, ...] = HOST_COUNTS,
+) -> list[PointSpec]:
     points = []
-    for bench in BENCHMARKS:
+    for bench in benchmarks:
         points.append(
             PointSpec(bench, "cc", 1, scale, derive_seed(base_seed, bench, "cc", 1))
         )
-        for scheme in SCHEMES:
-            for hosts in HOST_COUNTS:
+        for scheme in schemes:
+            for hosts in host_counts:
                 points.append(
                     PointSpec(
                         bench, scheme, hosts, scale,
@@ -291,38 +324,61 @@ def _figure8_points(scale: str, base_seed: int) -> list[PointSpec]:
     return points
 
 
-def _table3_points(scale: str, base_seed: int) -> list[PointSpec]:
+def _table3_points(
+    scale: str,
+    base_seed: int,
+    *,
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    schemes: tuple[str, ...] = TABLE3_SCHEMES,
+    host_cores: int = 8,
+) -> list[PointSpec]:
     points = []
-    for bench in BENCHMARKS:
-        for scheme in ("cc", "s9", "s100", "su", "q10", "l10", "s9*"):
+    for bench in benchmarks:
+        for scheme in schemes:
             points.append(
                 PointSpec(
-                    bench, scheme, 8, scale, derive_seed(base_seed, bench, scheme, 8)
+                    bench, scheme, host_cores, scale,
+                    derive_seed(base_seed, bench, scheme, host_cores),
                 )
             )
     return points
 
 
-def _ablation_points(scale: str, base_seed: int, workload: str = "fft") -> list[PointSpec]:
-    schemes = ["cc"] + [f"s{n}" for n in ABLATION_SLACKS] + ["su"]
+def _ablation_points(
+    scale: str,
+    base_seed: int,
+    workload: str = "fft",
+    *,
+    slacks: tuple[int, ...] = ABLATION_SLACKS,
+    host_cores: int = 8,
+) -> list[PointSpec]:
+    schemes = ["cc"] + [f"s{n}" for n in slacks] + ["su"]
     points = [
         PointSpec(workload, "cc", 1, scale, derive_seed(base_seed, workload, "cc", 1))
     ]
     for scheme in schemes:
         points.append(
             PointSpec(
-                workload, scheme, 8, scale, derive_seed(base_seed, workload, scheme, 8)
+                workload, scheme, host_cores, scale,
+                derive_seed(base_seed, workload, scheme, host_cores),
             )
         )
     return points
 
 
 def build_points(experiment: str, scale: str, base_seed: int, **kwargs) -> list[PointSpec]:
-    """The full point list for *experiment* (identical on every path)."""
+    """The full point list for *experiment* (identical on every path).
+
+    The single grid authority: the sweep runner AND the single-experiment
+    modules (figure8/table3/ablations) build their point lists here, so
+    the two paths can never drift.  ``kwargs`` subset the grid (e.g.
+    ``host_counts=(2, 8)`` for a cheaper Figure 8, ``workload=``/
+    ``slacks=`` for the ablation sweep).
+    """
     if experiment == "figure8":
-        return _figure8_points(scale, base_seed)
+        return _figure8_points(scale, base_seed, **kwargs)
     if experiment == "table3":
-        return _table3_points(scale, base_seed)
+        return _table3_points(scale, base_seed, **kwargs)
     if experiment == "ablations":
         return _ablation_points(scale, base_seed, **kwargs)
     raise ValueError(
@@ -383,6 +439,7 @@ def _run_points_parallel(
     specs: list[PointSpec],
     todo: list[int],
     results: dict[int, dict],
+    hits: dict[int, bool],
     *,
     jobs: int,
     manifest_dir: str | Path | None,
@@ -410,7 +467,7 @@ def _run_points_parallel(
             initializer=_init_worker_traces,
             initargs=(trace_map or {},),
         )
-        futures = {executor.submit(run_point, specs[i]): i for i in todo}
+        futures = {executor.submit(_run_point_ex, specs[i]): i for i in todo}
         crashed = False
         try:
             outstanding = set(futures)
@@ -423,10 +480,11 @@ def _run_points_parallel(
                     break
                 for future in done:
                     index = futures[future]
-                    result = future.result()  # point errors propagate here
-                    results[index] = result
+                    doc, hit = future.result()  # point errors propagate here
+                    results[index] = doc
+                    hits[index] = hit
                     if manifest_dir is not None:
-                        _store_manifest(manifest_dir, specs[index], result)
+                        _store_manifest(manifest_dir, specs[index], doc)
         except BrokenProcessPool:
             crashed = True
         finally:
@@ -458,6 +516,7 @@ def run_sweep(
     max_retries: int = 2,
     point_timeout: float | None = None,
     trace: bool = False,
+    telemetry: dict | None = None,
     **kwargs,
 ) -> dict:
     """Run a full experiment sweep, sharded over *jobs* processes.
@@ -469,6 +528,12 @@ def run_sweep(
     ``resume=True`` then skips points whose manifest matches the grid, so a
     killed sweep restarts from where it died — and still renders the same
     bytes as an uninterrupted run.
+
+    *telemetry*, when given, receives out-of-band execution counters —
+    ``store_hits`` / ``store_misses`` / ``manifest_resumed`` — kept outside
+    the returned document on purpose: a warm sweep must render the same
+    bytes as a cold one, so how each point was served cannot live in the
+    payload.
     """
     if resume and manifest_dir is None:
         raise ValueError("resume=True requires manifest_dir")
@@ -484,6 +549,8 @@ def run_sweep(
     _init_worker_traces(trace_map)  # serial path + forked workers
 
     results: dict[int, dict] = {}
+    hits: dict[int, bool] = {}
+    resumed_count = 0
     todo: list[int] = []
     for i, spec in enumerate(specs):
         if resume:
@@ -491,21 +558,27 @@ def run_sweep(
             doc = _load_manifest(manifest_path(manifest_dir, spec), spec)
             if doc is not None:
                 results[i] = doc
+                resumed_count += 1
                 continue
         todo.append(i)
 
     if jobs <= 1:
         for i in todo:
-            results[i] = run_point(specs[i])
+            results[i], hits[i] = _run_point_ex(specs[i])
             if manifest_dir is not None:
                 _store_manifest(manifest_dir, specs[i], results[i])
     else:
         _run_points_parallel(
-            specs, todo, results,
+            specs, todo, results, hits,
             jobs=jobs, manifest_dir=manifest_dir,
             max_retries=max_retries, point_timeout=point_timeout,
             trace_map=trace_map,
         )
+
+    if telemetry is not None:
+        telemetry["store_hits"] = sum(1 for h in hits.values() if h)
+        telemetry["store_misses"] = sum(1 for h in hits.values() if not h)
+        telemetry["manifest_resumed"] = resumed_count
 
     merged = dict(
         sorted(

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import BENCHMARKS, Runner
+from repro.experiments.parallel import build_points, point_key
 from repro.stats.tables import Table
 
 __all__ = ["run_table3", "Table3Row", "PAPER_TABLE3"]
@@ -47,23 +48,30 @@ class Table3Row:
 
 
 def run_table3(runner: Runner | None = None, host_cores: int = 8) -> list[Table3Row]:
-    """Regenerate Table 3 (plus conservative-scheme columns)."""
+    """Regenerate Table 3 (plus conservative-scheme columns).
+
+    The point list comes from :func:`repro.experiments.parallel.build_points`
+    — the identical grid ``repro sweep table3`` runs, so the table reads the
+    sweep's stored records (and vice versa).
+    """
     runner = runner or Runner()
+    points = build_points("table3", runner.scale, runner.seed, host_cores=host_cores)
+    docs = {point_key(p): runner.point(p) for p in points}
     rows = []
     for bench in BENCHMARKS:
-        gold = runner.run(bench, "cc", host_cores)
+        gold = docs[f"{bench}/cc/h{host_cores}"]
         errors = {}
         violations = {}
         for scheme in ERROR_SCHEMES + CONSERVATIVE_SCHEMES:
-            result = runner.run(bench, scheme, host_cores)
-            errors[scheme] = result.error_vs(gold)
-            # Violation totals come off the run's stats registry dump.
-            stats = result.stats
-            violations[scheme] = (
-                stats["violations.simulation_state"]
-                + stats["violations.system_state"]
-                + stats["violations.workload_state"]
+            doc = docs[f"{bench}/{scheme}/h{host_cores}"]
+            errors[scheme] = (
+                abs(doc["execution_cycles"] - gold["execution_cycles"])
+                / gold["execution_cycles"]
+                if gold["execution_cycles"]
+                else 0.0
             )
+            # Violation totals come off the run's stats registry dump.
+            violations[scheme] = doc["violations"]
         rows.append(
             Table3Row(
                 benchmark=bench,

@@ -1,0 +1,36 @@
+"""Content-addressed job execution layer (DESIGN.md §12).
+
+Every entry point — ``run``, ``sweep``, the figure/table experiment
+modules, ``bench`` — resolves its work through one canonical identity
+(:class:`JobSpec` / :func:`job_key`), one persistent memo
+(:class:`ResultStore` under ``.repro_cache/results/``), and one execution
+pipeline (:func:`execute`: store hit → trace replay → direct run).  A
+repeated request is a store lookup, not a re-simulation; the future
+``repro serve`` daemon (ROADMAP item 1) is a network front-end over
+exactly these three calls.
+"""
+
+from repro.jobs.execute import (
+    JobOutcome,
+    execute,
+    execute_functional,
+    record_summary,
+)
+from repro.jobs.spec import JOB_FORMAT, JobSpec, digest_payload, job_key, spec_program
+from repro.jobs.store import RESULT_FORMAT, ResultStore, results_dir, seal_record
+
+__all__ = [
+    "JOB_FORMAT",
+    "JobOutcome",
+    "JobSpec",
+    "RESULT_FORMAT",
+    "ResultStore",
+    "digest_payload",
+    "execute",
+    "execute_functional",
+    "job_key",
+    "record_summary",
+    "results_dir",
+    "seal_record",
+    "spec_program",
+]

@@ -1,0 +1,314 @@
+"""The memoized execution pipeline: job in, sealed record out.
+
+``execute(spec, store)`` is the one path every entry point shares
+(DESIGN.md §12).  The decision tree on each call:
+
+1. **Store hit** — a sealed record for the job key exists: return it
+   without simulating (unless ``refresh=True``, which forces a run).
+2. **Miss + capture available** — the trace store holds a capture whose
+   program digest and workload config match (ROADMAP item 4): replay it
+   under the job's scheme/window/memory config.  Replay is dump-identical
+   to direct execution (DESIGN.md §11), so the record is byte-for-byte the
+   one a direct run would have produced.
+3. **Miss, no capture** — run the engine directly.
+
+Either way the run is verified against the workload's numpy oracle, packed
+into a record (metrics, per-core summaries, flat stats, stats digest, the
+rendered stats document, output fingerprint, provenance) and published to
+the store atomically.
+
+``execute_functional`` is the bench-shaped sibling: it always runs (wall
+time is the product) but records the functional outcome in the same store,
+so repeated benches double as determinism checks — a stored record that
+disagrees with a fresh run is surfaced as drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import repro
+from repro._util import output_digest
+from repro.jobs.spec import JobSpec, digest_payload, job_key, spec_program
+from repro.jobs.store import ResultStore
+
+__all__ = ["JobOutcome", "execute", "execute_functional", "record_summary"]
+
+
+@dataclass
+class JobOutcome:
+    """What one ``execute`` call produced."""
+
+    key: str
+    record: dict
+    #: True when the record came straight from the store (nothing ran).
+    hit: bool
+    #: The live engine/functional result — ``None`` on a hit.
+    result: object = None
+    #: True when a store miss was served by trace replay instead of a
+    #: direct run (observationally identical; recorded as provenance).
+    replayed: bool = False
+    #: Functional-record drift against a previously stored record
+    #: (``execute_functional`` only): list of human-readable mismatches.
+    drift: list = field(default_factory=list)
+
+
+def _resolve_trace(spec: JobSpec, program_digest: str, trace) -> "str | None":
+    """Which capture (if any) should serve this miss.
+
+    ``trace=None`` forbids replay, a path string forces that file, and
+    ``"auto"`` consults the trace store for a capture matching the job's
+    program digest and workload config — seed-agnostic, because the
+    committed-op stream is invariant under the simulation seed.
+    """
+    if trace is None:
+        return None
+    if trace != "auto":
+        return str(trace)
+    if spec.core_model != "inorder":
+        return None  # the capture seam lives at the inorder commit sites
+    if spec.sim_config().fault_plan:
+        return None  # a faulted run diverges from any clean recording
+    from repro.trace.store import find_trace
+
+    path = find_trace(
+        program_digest, {"workload": spec.workload, "scale": spec.scale}
+    )
+    return str(path) if path is not None else None
+
+
+def _run_spec(spec: JobSpec, workload, trace_path: "str | None", *, fallback: bool = True):
+    """Run the engine for *spec*, replaying *trace_path* when given.
+
+    With ``fallback`` (the auto-discovery case) a replay that fails
+    validity (stale capture, core-count mismatch, stream exhaustion) falls
+    back to a fresh direct run — a bad capture must never fail a job that
+    direct execution would complete.  An *explicitly requested* capture
+    propagates its error instead: the caller asked for that file.
+    """
+    from repro.core.engine import EngineError, SequentialEngine
+    from repro.trace.format import TraceError
+
+    sim = spec.sim_config()
+    if trace_path is not None:
+        try:
+            result = SequentialEngine(
+                workload.program,
+                target=spec.target_config(),
+                host=spec.host_config(),
+                sim=replace(sim, trace_mode="replay", trace_path=trace_path),
+            ).run()
+            return result, True
+        except (EngineError, TraceError):
+            if not fallback:
+                raise
+            # invalid/stale auto-discovered capture: fall through to direct
+    result = SequentialEngine(
+        workload.program,
+        target=spec.target_config(),
+        host=spec.host_config(),
+        sim=replace(sim, trace_mode="off", trace_path=None, trace_source=None),
+    ).run()
+    return result, False
+
+
+def _timing_record(
+    spec: JobSpec,
+    payload: dict,
+    result,
+    *,
+    replayed: bool,
+    trace_path: "str | None",
+    wall_time: float,
+) -> dict:
+    stats = result.stats
+    return {
+        "spec": payload,
+        "completed": result.completed,
+        "metrics": {
+            "execution_cycles": stats["target.execution_cycles"],
+            "global_time": stats["target.global_time"],
+            "instructions": stats["target.instructions"],
+            "host_time": stats["host.makespan"],
+            "host_utilization": result.host_utilization,
+            "kips": result.kips,
+            "violations": (
+                stats["violations.simulation_state"]
+                + stats["violations.system_state"]
+                + stats["violations.workload_state"]
+            ),
+            "workload_violations": stats["violations.workload_state"],
+            "output_len": len(result.output),
+        },
+        "cores": [
+            {
+                "core": c.core_id,
+                "committed": c.committed,
+                "cycles": c.cycles,
+                "l1_accesses": c.l1_accesses,
+                "l1_misses": c.l1_misses,
+            }
+            for c in result.cores
+        ],
+        "output_sha256": output_digest(result.output),
+        "stats": stats,
+        "stats_digest": result.stats_sha256,
+        "stats_dump": result.dump_json(),
+        "provenance": {
+            "repro_version": repro.__version__,
+            "engine": "replay" if replayed else "direct",
+            "trace_path": trace_path if replayed else None,
+            "wall_time_s": wall_time,
+            "created_unix": time.time(),
+        },
+    }
+
+
+def execute(
+    spec: JobSpec,
+    store: "ResultStore | None" = None,
+    *,
+    trace="auto",
+    refresh: bool = False,
+) -> JobOutcome:
+    """Resolve *spec* to a result record: store hit, replay, or direct run.
+
+    *store* defaults to the shared on-disk store (``None`` there means
+    caching is disabled and every call runs).  *trace* is ``"auto"``
+    (consult the trace store), ``None`` (never replay) or an explicit
+    capture path.  ``refresh=True`` skips the store read — the job runs
+    and its record is rewritten (explicit ``--replay-trace`` runs use
+    this, so asking to exercise replay really exercises it).
+    """
+    if spec.mode != "timing":
+        raise ValueError(f"execute() runs timing jobs; got mode={spec.mode!r}")
+    workload = spec_program(spec)
+    from repro.trace.format import program_digest as _pd
+
+    pdigest = _pd(workload.program)
+    key = job_key(spec, program_digest=pdigest)
+    if store is not None and not refresh:
+        record = store.load(key)
+        if record is not None:
+            return JobOutcome(key=key, record=record, hit=True)
+
+    trace_path = _resolve_trace(spec, pdigest, trace)
+    t0 = time.perf_counter()
+    result, replayed = _run_spec(spec, workload, trace_path, fallback=trace == "auto")
+    wall_time = time.perf_counter() - t0
+    problems = workload.mismatches(result.output)
+    if problems:
+        raise AssertionError(
+            f"{spec.workload} mis-executed under {spec.scheme}: "
+            + "; ".join(problems)
+        )
+    record = _timing_record(
+        spec,
+        digest_payload(spec, pdigest),
+        result,
+        replayed=replayed,
+        trace_path=trace_path,
+        wall_time=wall_time,
+    )
+    if store is not None:
+        store.put(key, record)
+        record = store.load(key) or record  # hand back the sealed form
+    return JobOutcome(
+        key=key, record=record, hit=False, result=result, replayed=replayed
+    )
+
+
+def execute_functional(
+    spec: JobSpec,
+    store: "ResultStore | None" = None,
+    *,
+    dispatch: str = "predecoded",
+) -> JobOutcome:
+    """Run *spec* functionally (no timing model), recording the outcome.
+
+    Always runs — the caller is measuring wall time — but routes identity
+    and persistence through the same store as timing jobs.  If a stored
+    record disagrees with the fresh run on any deterministic field, the
+    mismatches come back in ``outcome.drift`` (a determinism bug surfaced,
+    not silently overwritten).
+    """
+    if spec.mode != "functional":
+        raise ValueError(
+            f"execute_functional() runs functional jobs; got mode={spec.mode!r}"
+        )
+    from repro.cpu.interp import run_functional
+    from repro.trace.format import program_digest as _pd
+
+    workload = spec_program(spec)
+    pdigest = _pd(workload.program)
+    key = job_key(spec, program_digest=pdigest)
+    prior = store.load(key) if store is not None else None
+
+    t0 = time.perf_counter()
+    result = run_functional(workload.program, dispatch=dispatch)
+    wall_time = time.perf_counter() - t0
+
+    record = {
+        "spec": digest_payload(spec, pdigest),
+        "completed": result.exit_code in (0, None),
+        "metrics": {
+            "instructions": result.instructions,
+            "exit_code": result.exit_code,
+            "output_len": len(result.output),
+        },
+        "output_sha256": output_digest(result.output),
+        "stats": {},
+        "stats_digest": "",
+        "provenance": {
+            "repro_version": repro.__version__,
+            "engine": "functional",
+            "dispatch": dispatch,
+            "wall_time_s": wall_time,
+            "kips": result.instructions / wall_time / 1000.0 if wall_time else 0.0,
+            "created_unix": time.time(),
+        },
+    }
+    drift = []
+    if prior is not None:
+        for field_path in ("metrics", "output_sha256"):
+            if prior.get(field_path) != record[field_path]:
+                drift.append(
+                    f"{field_path}: stored {prior.get(field_path)!r} "
+                    f"!= fresh {record[field_path]!r}"
+                )
+    if store is not None:
+        store.put(key, record)
+        record = store.load(key) or record
+    return JobOutcome(
+        key=key,
+        record=record,
+        hit=prior is not None,
+        result=result,
+        drift=drift,
+    )
+
+
+def record_summary(record: dict) -> str:
+    """The one-line run summary, reconstructed from a stored record.
+
+    Field-for-field the format of :meth:`SimulationResult.summary`, so a
+    served `run` prints the same line a fresh one would.
+    """
+    m, stats = record["metrics"], record["stats"]
+    violations = (
+        f"violations: simulation={stats.get('violations.simulation_state', 0)} "
+        f"system={stats.get('violations.system_state', 0)} "
+        f"workload={stats.get('violations.workload_state', 0)} "
+        f"fastforwards={stats.get('violations.fastforwards', 0)}"
+    )
+    cross = stats.get("violations.cross_domain", 0)
+    if cross:
+        violations += f" cross_domain={cross}"
+    spec = record["spec"]
+    return (
+        f"[{spec['sim']['scheme']} H={spec['host']['num_cores']}] "
+        f"T_target={m['execution_cycles']} cyc, instr={m['instructions']}, "
+        f"T_host={m['host_time']:.0f} u ({m['kips']:.1f} KIPS), "
+        f"util={m['host_utilization']:.2f}, {violations}"
+    )

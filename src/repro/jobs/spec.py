@@ -1,0 +1,195 @@
+"""Canonical job identity: :class:`JobSpec` and its content-addressed key.
+
+A simulation in this system is a pure function of (program, configuration,
+seed) — DESIGN.md §12.  ``JobSpec`` names one such evaluation; ``job_key``
+renders its identity as a SHA-256 over a canonical-JSON payload that
+incorporates
+
+* the **program content digest** (text + data + entry of the compiled
+  workload image) — editing a workload's source changes the key;
+* the **toolchain fingerprint** (the bytes of every compiler/assembler
+  module, :func:`repro.lang.compiler.toolchain_fingerprint`) — editing any
+  stage of the toolchain changes the key;
+* every **digest-relevant** configuration field: the full target/host
+  models and the :class:`SimConfig` fields that can influence simulated
+  behaviour (scheme, seed, windows, domains, faults, …);
+* the job-layer format version (bump ``JOB_FORMAT`` to orphan every record).
+
+**Digest-excluded fields** are execution mechanics proven observationally
+equivalent elsewhere in the test suite: ``stepping``/``scheduling``/
+``dispatch`` (digest-identical by the differential matrices, DESIGN.md
+§6/§9), the trace mode (replay is dump-identical to direct execution,
+§11), ``backend`` at one memory domain (byte-identical to the monolithic
+manager by construction, §10), the wall-clock watchdog, and output paths.
+Changing any of them must NOT change the key — a replayed run and a direct
+run of the same job are the *same job* and share one stored record.
+``backend`` at N>1 domains stays in the key: the dump's value lines
+legitimately differ there and the process backend restricts what can run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from repro._util import canonical_json, sha256_hex
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+
+__all__ = ["JOB_FORMAT", "JobSpec", "digest_payload", "job_key", "spec_program"]
+
+#: Job-layer format version: part of every key, so bumping it invalidates
+#: every stored result record at once (mirrors the compile cache's
+#: ``_CACHE_FORMAT``).
+JOB_FORMAT = 1
+
+#: SimConfig fields that participate in the job key.  Everything else on
+#: SimConfig is execution mechanics (see the module docstring).
+DIGEST_SIM_FIELDS = (
+    "scheme",
+    "seed",
+    "max_cycles",
+    "max_instructions",
+    "detect_violations",
+    "fastforward",
+    "batch_cycles",
+    "turn_cycles",
+    "wait_chunk",
+    "stats_interval",
+    "fault_plan",
+    "checkpoint_interval",
+    "mem_domains",
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One canonical simulation (or functional-execution) job.
+
+    ``workload``/``scale``/``workload_args`` name the program;
+    ``scheme``/``seed``/``host_cores``/``core_model``/``fastforward`` are
+    the common knobs every entry point exposes; ``sim`` optionally carries
+    a full :class:`SimConfig` for the long tail (windows, domains, faults).
+    The top-level fields are authoritative: :meth:`sim_config` overlays
+    them onto ``sim``, so a spec can never disagree with itself.
+
+    ``mode`` is ``"timing"`` for engine runs and ``"functional"`` for
+    pure functional-simulator executions (the ``bench`` entry point).
+    """
+
+    workload: str
+    scale: str
+    scheme: str = "cc"
+    seed: int = 1
+    host_cores: int = 8
+    core_model: str = "inorder"
+    fastforward: bool = False
+    mode: str = "timing"
+    #: Extra ``make_workload`` overrides as a sorted (name, value) tuple —
+    #: hashable, picklable, canonically ordered (e.g. ``(("nthreads", 1),)``
+    #: for the functional bench).
+    workload_args: tuple = ()
+    #: Optional full SimConfig for fields beyond the common knobs.
+    sim: SimConfig | None = None
+
+    @classmethod
+    def build(
+        cls,
+        workload: str,
+        scale: str,
+        *,
+        scheme: str = "cc",
+        seed: int = 1,
+        host_cores: int = 8,
+        core_model: str = "inorder",
+        fastforward: bool = False,
+        mode: str = "timing",
+        workload_args: dict | None = None,
+        **sim_overrides,
+    ) -> "JobSpec":
+        """Construct a spec; ``sim_overrides`` become SimConfig fields."""
+        sim = (
+            SimConfig(
+                scheme=scheme, seed=seed, fastforward=fastforward, **sim_overrides
+            )
+            if sim_overrides
+            else None
+        )
+        return cls(
+            workload=workload,
+            scale=scale,
+            scheme=scheme,
+            seed=seed,
+            host_cores=host_cores,
+            core_model=core_model,
+            fastforward=fastforward,
+            mode=mode,
+            workload_args=tuple(sorted((workload_args or {}).items())),
+            sim=sim,
+        )
+
+    def sim_config(self) -> SimConfig:
+        """The run's SimConfig with the top-level fields overlaid."""
+        base = self.sim if self.sim is not None else SimConfig()
+        return replace(
+            base, scheme=self.scheme, seed=self.seed, fastforward=self.fastforward
+        )
+
+    def target_config(self) -> TargetConfig:
+        return TargetConfig(core_model=self.core_model)
+
+    def host_config(self) -> HostConfig:
+        return HostConfig(num_cores=self.host_cores)
+
+
+def spec_program(spec: JobSpec):
+    """Build *spec*'s workload (compile cached on disk) and return it."""
+    from repro.workloads.registry import make_workload
+
+    return make_workload(spec.workload, scale=spec.scale, **dict(spec.workload_args))
+
+
+def digest_payload(spec: JobSpec, program_digest: str) -> dict:
+    """The canonical-JSON payload whose SHA-256 is the job key.
+
+    Stored verbatim in every result record (provenance: a record explains
+    its own identity), so the payload must stay JSON-pure and stable.
+    """
+    from repro.lang.compiler import toolchain_fingerprint
+
+    payload = {
+        "format": JOB_FORMAT,
+        "mode": spec.mode,
+        "workload": {
+            "name": spec.workload,
+            "scale": spec.scale,
+            "args": dict(spec.workload_args),
+        },
+        "program_digest": program_digest,
+        "toolchain": toolchain_fingerprint(),
+    }
+    if spec.mode == "functional":
+        # Functional executions depend on the program alone: no timing
+        # model, no host, no scheme.  (dispatch is digest-excluded — the
+        # predecoded and oracle layers are bit-identical by construction.)
+        return payload
+    sim = spec.sim_config()
+    sim_fields = {name: getattr(sim, name) for name in DIGEST_SIM_FIELDS}
+    if sim.mem_domains > 1:
+        sim_fields["backend"] = sim.backend
+    payload["target"] = asdict(spec.target_config())
+    payload["host"] = asdict(spec.host_config())
+    payload["sim"] = sim_fields
+    return payload
+
+
+def job_key(spec: JobSpec, program_digest: str | None = None) -> str:
+    """The content-addressed identity of *spec* (see the module docstring).
+
+    *program_digest* is computed from the compiled workload image when not
+    supplied — callers that already hold the program pass it to skip the
+    (cached) compile.
+    """
+    if program_digest is None:
+        from repro.trace.format import program_digest as _pd
+
+        program_digest = _pd(spec_program(spec).program)
+    return sha256_hex(canonical_json(digest_payload(spec, program_digest)))

@@ -1,0 +1,155 @@
+"""Persistent, digest-sealed result store: ``.repro_cache/results/``.
+
+One JSON file per :func:`repro.jobs.spec.job_key`, holding everything a
+repeated request needs without re-simulating (DESIGN.md §12): the flat
+stats dump and its digest, the rendered ``--stats-out`` document, the
+output fingerprint, the derived point metrics, per-core summaries, and
+provenance (trace key used, wall time, repro version).
+
+**Sealing.**  Every record carries ``record_sha256`` — a SHA-256 over the
+canonical-JSON rendering of the record *without* that field.  ``load``
+recomputes it; any mismatch (torn write survived somehow, bit rot, a hand
+edit) demotes the record to a miss, never to silent garbage.  The same
+check backs ``repro cache gc``.
+
+**Concurrency.**  Writes go through :func:`repro._util.atomic_write_text`
+(same-directory tempfile + ``os.replace``) — the compile cache's pattern.
+Two processes computing the same key race benignly: both runs are
+deterministic, both records seal valid, last writer wins, and readers only
+ever observe a complete record (``tests/jobs/test_store.py`` pins this).
+
+``REPRO_CACHE_DIR`` overrides the cache root exactly as for compiled
+programs; the empty string disables the store (``ResultStore.default()``
+returns ``None`` and execution layers fall back to always running).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro._util import atomic_write_text, canonical_json, sha256_hex
+from repro.lang.compiler import cache_dir
+
+__all__ = ["RESULT_FORMAT", "ResultStore", "results_dir", "seal_record"]
+
+#: Store format version: recorded in every file; a mismatch is a miss.
+RESULT_FORMAT = 1
+
+_SEAL_FIELD = "record_sha256"
+
+
+def results_dir(create: bool = False) -> Path | None:
+    """The result section of the cache root, or ``None`` when disabled."""
+    root = cache_dir()
+    if root is None:
+        return None
+    results = root / "results"
+    if create:
+        results.mkdir(parents=True, exist_ok=True)
+    return results
+
+
+def seal_record(record: dict) -> str:
+    """The record's integrity digest (over everything but the seal field)."""
+    body = {k: v for k, v in record.items() if k != _SEAL_FIELD}
+    return sha256_hex(canonical_json(body))
+
+
+class ResultStore:
+    """Content-addressed store of finished job records."""
+
+    def __init__(self, root: "Path | str") -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def default(cls) -> "ResultStore | None":
+        """The store under the shared cache root, or ``None`` when on-disk
+        caching is disabled (``REPRO_CACHE_DIR=""``)."""
+        root = results_dir()
+        return cls(root) if root is not None else None
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The sealed record for *key*, or ``None`` (absent/corrupt/stale).
+
+        A record only counts when it parses, its format matches, its
+        embedded key matches the filename, and its seal verifies — any
+        failure is a plain miss (the job re-runs and rewrites the entry).
+        """
+        try:
+            with open(self.path(key)) as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not self.validate(record, key=key):
+            return None
+        return record
+
+    @staticmethod
+    def validate(record: object, key: str | None = None) -> bool:
+        """Structural + seal validity of a parsed record."""
+        if not isinstance(record, dict):
+            return False
+        if record.get("format") != RESULT_FORMAT:
+            return False
+        if key is not None and record.get("job_key") != key:
+            return False
+        seal = record.get(_SEAL_FIELD)
+        return isinstance(seal, str) and seal == seal_record(record)
+
+    def put(self, key: str, record: dict) -> Path:
+        """Seal and atomically publish *record* under *key*.
+
+        The record is normalised through JSON before sealing so that the
+        sealed bytes and the re-loaded value can never disagree (e.g.
+        tuples vs lists) — what you store is exactly what ``load`` hands
+        back.
+        """
+        record = json.loads(json.dumps(record))
+        record["format"] = RESULT_FORMAT
+        record["job_key"] = key
+        record[_SEAL_FIELD] = seal_record(record)
+        path = self.path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    # ---------------------------------------------------------- management
+    def keys(self) -> list[str]:
+        """All stored keys (filename-derived; no validity check)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def entries(self) -> "list[tuple[str, dict | None]]":
+        """(key, record-or-None) for every file, invalid records as None."""
+        return [(key, self.load(key)) for key in self.keys()]
+
+    def gc(self, *, toolchain: str | None = None, dry_run: bool = False) -> list[str]:
+        """Drop invalid records, plus valid ones recorded under a different
+        toolchain fingerprint when *toolchain* is given (they can never be
+        hit again — their keys embed the old fingerprint).  Returns the
+        dropped keys."""
+        dropped = []
+        for key, record in self.entries():
+            stale = record is None or (
+                toolchain is not None
+                and record.get("spec", {}).get("toolchain") != toolchain
+            )
+            if not stale:
+                continue
+            dropped.append(key)
+            if not dry_run:
+                self.path(key).unlink(missing_ok=True)
+        return dropped
+
+    def clear(self) -> int:
+        """Remove every record; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            self.path(key).unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -44,7 +44,7 @@ __all__ = [
     "OP_JOIN", "OP_EXIT", "OP_SYNC", "OP_HALT",
     "OP_THINK", "OP_TLOAD", "OP_TSTORE", "OP_THALT",
     "ACC_LOAD", "ACC_STORE", "ACC_AMO",
-    "program_digest", "write_trace", "read_trace", "trace_info",
+    "program_digest", "write_trace", "read_header", "read_trace", "trace_info",
 ]
 
 MAGIC = b"SLTR"
@@ -195,6 +195,40 @@ def _decode_ops(buf: memoryview, offset: int, count: int) -> tuple[list[tuple], 
         offset += 8 * argc
         ops.append((code, *args))
     return ops, offset
+
+
+def read_header(path: str) -> dict:
+    """Parse just the header JSON of a trace file — no op streams, no seal.
+
+    The cheap candidate test for store discovery (:func:`repro.trace.store.
+    find_trace`): reading only ``magic | version | header_len | header``
+    costs a few hundred bytes however large the capture is.  Because the
+    footer is NOT verified here, a caller must never trust the op streams
+    on the strength of this read — :func:`read_trace` (which replay uses)
+    still performs the full integrity check.
+    """
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(_PACK_FILE.size)
+            if len(head) < _PACK_FILE.size:
+                raise TraceError(f"trace {path!r} is truncated ({len(head)} bytes)")
+            magic, version, hlen = _PACK_FILE.unpack(head)
+            if magic != MAGIC:
+                raise TraceError(f"{path!r} is not a trace file (bad magic {magic!r})")
+            if version != TRACE_VERSION:
+                raise TraceError(
+                    f"trace {path!r} is format v{version}; this build reads "
+                    f"v{TRACE_VERSION}"
+                )
+            hjson = fh.read(hlen)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path!r}: {exc}") from None
+    if len(hjson) < hlen:
+        raise TraceError(f"trace {path!r} is truncated inside its header")
+    try:
+        return json.loads(hjson.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"trace {path!r} has a corrupt header: {exc}") from None
 
 
 def read_trace(path: str) -> Trace:

@@ -1,12 +1,18 @@
 """Content-keyed trace store inside the ``.repro_cache/`` directory.
 
 Traces live alongside the compile cache (the directory layout is documented
-in DESIGN.md §6) under ``<cache>/traces/<key>.trace``, keyed by a SHA-256
+in DESIGN.md §12) under ``<cache>/traces/<key>.trace``, keyed by a SHA-256
 over the capture's validity tuple: the program's content digest, the
 workload-configuration description, and the workload seed.  The simulation
 scheme is deliberately *not* part of the key — the recorded stream is
 scheme-invariant, which is the whole point: one functional capture serves
 every (scheme, window, memory-config) replay of the same execution.
+
+:func:`find_trace` is the job layer's discovery path (DESIGN.md §12): a
+result-store miss asks whether *any* stored capture matches the job's
+program digest and workload config, whatever seed it was captured under
+(the stream is sim-seed-invariant), and replays it instead of re-executing
+the functional frontend.
 
 ``REPRO_CACHE_DIR`` overrides the root exactly as for compiled programs;
 the empty string disables the store (``trace_store_path`` returns ``None``
@@ -15,32 +21,66 @@ and sweep callers fall back to direct execution).
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 
+from repro._util import canonical_json, sha256_hex
 from repro.lang.compiler import cache_dir
 
-__all__ = ["trace_key", "trace_store_path"]
+__all__ = ["find_trace", "trace_key", "trace_store_path", "traces_dir"]
 
 
 def trace_key(program_digest: str, source: dict | None, seed: int) -> str:
     """Validity key of one functional execution: (program, workload, seed)."""
-    h = hashlib.sha256()
-    h.update(program_digest.encode())
-    h.update(b"\x00")
-    h.update(json.dumps(source or {}, sort_keys=True).encode())
-    h.update(b"\x00")
-    h.update(str(seed).encode())
-    return h.hexdigest()
+    return sha256_hex(program_digest, canonical_json(source or {}), str(seed))
+
+
+def traces_dir(create: bool = False) -> Path | None:
+    """The trace section of the cache root, or ``None`` when disabled."""
+    root = cache_dir()
+    if root is None:
+        return None
+    traces = root / "traces"
+    if create:
+        traces.mkdir(parents=True, exist_ok=True)
+    return traces
 
 
 def trace_store_path(key: str) -> Path | None:
     """Where the trace for *key* lives (directory created), or ``None``
     when on-disk caching is disabled via ``REPRO_CACHE_DIR=""``."""
-    root = cache_dir()
-    if root is None:
+    traces = traces_dir(create=True)
+    return traces / f"{key}.trace" if traces is not None else None
+
+
+def find_trace(program_digest: str, source: dict | None) -> Path | None:
+    """Any stored capture matching (program digest, workload config).
+
+    Seed-agnostic on purpose: the committed-op stream is invariant under the
+    simulation seed (DESIGN.md §11), so a capture taken under one sweep's
+    base seed replays every derived-seed point of any later job.  Headers
+    are read without unpacking op streams (cheap); the full integrity check
+    happens when the replay run reads the file — a corrupt match is
+    rejected there, never trusted here.
+    """
+    from repro.trace.format import TraceError, read_header
+
+    traces = traces_dir()
+    if traces is None or not traces.is_dir():
         return None
-    traces = root / "traces"
-    traces.mkdir(parents=True, exist_ok=True)
-    return traces / f"{key}.trace"
+    want = canonical_json(source or {})
+    for path in sorted(traces.glob("*.trace")):
+        try:
+            header = read_header(str(path))
+        except TraceError:
+            continue  # corrupt/truncated entry: not a candidate
+        if header.get("program_digest") != program_digest:
+            continue
+        raw = header.get("source")
+        try:
+            recorded = json.loads(raw) if isinstance(raw, str) else raw
+        except json.JSONDecodeError:
+            continue
+        if canonical_json(recorded or {}) == want:
+            return path
+    return None

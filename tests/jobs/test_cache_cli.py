@@ -1,0 +1,78 @@
+"""``slacksim cache`` subcommand: ls / info / gc / clear over the store."""
+
+from repro.cli import main
+from repro.jobs import JobSpec, ResultStore, execute
+
+
+def _populate(store) -> str:
+    outcome = execute(
+        JobSpec.build("fft", "tiny", scheme="s9", seed=2, host_cores=2), store
+    )
+    return outcome.key
+
+
+def test_ls_lists_records(store, capsys):
+    key = _populate(store)
+    assert main(["cache", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert key[:16] in out
+    assert "fft/tiny s9 h2 seed=2" in out
+    assert "1 record(s)" in out
+
+
+def test_info_prints_one_record_by_prefix(store, capsys):
+    key = _populate(store)
+    assert main(["cache", "info", key[:12]]) == 0
+    out = capsys.readouterr().out
+    assert f'"job_key": "{key}"' in out
+    assert '"stats_dump"' not in out  # elided from the human view
+
+
+def test_info_rejects_ambiguous_or_unknown_prefix(store, capsys):
+    _populate(store)
+    assert main(["cache", "info", "zzzz"]) == 1
+    assert main(["cache", "info"]) == 2
+
+
+def test_gc_drops_corrupt_records(store, capsys):
+    key = _populate(store)
+    store.path(key).write_text("garbage")
+    assert main(["cache", "gc"]) == 0
+    out = capsys.readouterr().out
+    assert "dropped 1 record(s)" in out
+    assert store.keys() == []
+
+
+def test_gc_dry_run_keeps_files(store, capsys):
+    key = _populate(store)
+    store.path(key).write_text("garbage")
+    assert main(["cache", "gc", "--dry-run"]) == 0
+    assert "would drop 1" in capsys.readouterr().out
+    assert store.path(key).exists()
+
+
+def test_clear_removes_everything(store, capsys):
+    _populate(store)
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1 record(s)" in capsys.readouterr().out
+    assert store.keys() == []
+
+
+def test_cache_disabled_exits_nonzero(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert main(["cache", "ls"]) == 2
+    assert ResultStore.default() is None
+
+
+def test_run_twice_reports_store_hit(store, capsys):
+    argv = ["run", "--workload", "fft", "--scheme", "s9", "--host-cores", "2",
+            "--scale", "tiny", "--seed", "2"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "served from result store" not in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "served from result store" in warm
+    # The summary and verification lines are byte-identical either way.
+    assert cold.splitlines()[0] == warm.splitlines()[0]
+    assert cold.splitlines()[-1] == warm.splitlines()[-1]

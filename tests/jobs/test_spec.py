@@ -1,0 +1,116 @@
+"""Job-key derivation: what must (and must not) change the identity.
+
+The invalidation contract (DESIGN.md §12): program content, toolchain
+fingerprint and every digest-relevant configuration field participate in
+the key; execution mechanics proven observationally equivalent elsewhere
+(scheduling mode, backend at one domain, watchdog, output paths) must not.
+"""
+
+import pytest
+
+import repro.lang.compiler as compiler
+from repro.jobs import JobSpec, digest_payload, job_key
+
+#: A fixed fake program digest so these tests never need to compile.
+DIGEST = "ab" * 32
+OTHER_DIGEST = "cd" * 32
+
+
+def spec(**kwargs) -> JobSpec:
+    base = dict(workload="fft", scale="tiny", scheme="s9", seed=7, host_cores=4)
+    base.update(kwargs)
+    return JobSpec.build(base.pop("workload"), base.pop("scale"), **base)
+
+
+class TestKeyChanges:
+    """Everything here MUST produce a different job key."""
+
+    def test_program_digest(self):
+        assert job_key(spec(), DIGEST) != job_key(spec(), OTHER_DIGEST)
+
+    def test_toolchain_fingerprint(self, monkeypatch):
+        before = job_key(spec(), DIGEST)
+        monkeypatch.setattr(compiler, "_fingerprint", "f" * 64)
+        assert job_key(spec(), DIGEST) != before
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"scheme": "su"},
+            {"seed": 8},
+            {"host_cores": 8},
+            {"core_model": "ooo"},
+            {"fastforward": True},
+            {"scale": "small"},
+            {"workload": "lu"},
+            {"max_cycles": 1234},
+            {"max_instructions": 99},
+            {"detect_violations": False},
+            {"batch_cycles": 32},
+            {"turn_cycles": 128},
+            {"wait_chunk": 4},
+            {"stats_interval": 500},
+            {"fault_plan": "corrupt_dir:at=800"},
+            {"checkpoint_interval": 1000},
+            {"mem_domains": 2},
+            {"mode": "functional"},
+            {"workload_args": {"nthreads": 1}},
+        ],
+    )
+    def test_digest_relevant_field(self, change):
+        if "workload_args" in change:
+            changed = spec(workload_args=change["workload_args"])
+        else:
+            changed = spec(**change)
+        assert job_key(changed, DIGEST) != job_key(spec(), DIGEST)
+
+    def test_backend_included_with_multiple_domains(self):
+        a = spec(mem_domains=2, backend="sequential")
+        b = spec(mem_domains=2, backend="threaded")
+        assert job_key(a, DIGEST) != job_key(b, DIGEST)
+
+
+class TestKeyInvariant:
+    """Everything here must NOT change the job key."""
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"scheduling": "static"},
+            {"stepping": "looped"},
+            {"dispatch": "oracle"},
+            {"host_timeout": 5.0},
+            {"backend": "threaded"},  # one memory domain: digest-excluded
+            {"checkpoint_path": "/tmp/ckpt.bin"},
+            {"trace_mode": "replay", "trace_path": "/tmp/x.trace"},
+        ],
+    )
+    def test_digest_excluded_field(self, change):
+        assert job_key(spec(**change), DIGEST) == job_key(spec(), DIGEST)
+
+    def test_build_without_overrides_matches_explicit_defaults(self):
+        assert job_key(spec(), DIGEST) == job_key(spec(host_timeout=120.0), DIGEST)
+
+
+class TestPayload:
+    def test_payload_is_json_pure_and_stable(self):
+        import json
+
+        payload = digest_payload(spec(), DIGEST)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["program_digest"] == DIGEST
+        assert payload["format"] == 1
+        assert set(payload) == {
+            "format", "mode", "workload", "program_digest", "toolchain",
+            "target", "host", "sim",
+        }
+
+    def test_functional_payload_drops_timing_config(self):
+        payload = digest_payload(spec(mode="functional"), DIGEST)
+        assert "sim" not in payload and "host" not in payload
+
+    def test_top_level_fields_overlay_sim(self):
+        s = spec(scheme="su", max_cycles=777)
+        assert s.sim_config().scheme == "su"
+        assert s.sim_config().max_cycles == 777
+        assert digest_payload(s, DIGEST)["sim"]["scheme"] == "su"

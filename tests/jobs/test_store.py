@@ -1,0 +1,127 @@
+"""Result-store mechanics: sealing, corruption, gc, and concurrent writers."""
+
+import json
+import multiprocessing
+import os
+
+from repro.jobs import RESULT_FORMAT, ResultStore, seal_record
+
+KEY = "k" * 64
+
+
+def record(**extra) -> dict:
+    base = {"spec": {"toolchain": "t1"}, "metrics": {"x": 1}, "stats": {"a": 2}}
+    base.update(extra)
+    return base
+
+
+class TestSealing:
+    def test_put_then_load_roundtrips(self, store):
+        store.put(KEY, record())
+        loaded = store.load(KEY)
+        assert loaded is not None
+        assert loaded["metrics"] == {"x": 1}
+        assert loaded["format"] == RESULT_FORMAT
+        assert loaded["job_key"] == KEY
+        assert loaded["record_sha256"] == seal_record(loaded)
+
+    def test_absent_key_is_a_miss(self, store):
+        assert store.load("0" * 64) is None
+
+    def test_corrupt_json_is_a_miss_not_an_error(self, store):
+        path = store.put(KEY, record())
+        path.write_text("{ not json")
+        assert store.load(KEY) is None
+
+    def test_tampered_field_fails_the_seal(self, store):
+        path = store.put(KEY, record())
+        doc = json.loads(path.read_text())
+        doc["metrics"]["x"] = 999
+        path.write_text(json.dumps(doc))
+        assert store.load(KEY) is None
+
+    def test_wrong_embedded_key_is_a_miss(self, store):
+        path = store.put(KEY, record())
+        other = store.path("1" * 64)
+        other.write_text(path.read_text())  # valid seal, wrong filename
+        assert store.load("1" * 64) is None
+
+    def test_format_mismatch_is_a_miss(self, store):
+        path = store.put(KEY, record())
+        doc = json.loads(path.read_text())
+        doc["format"] = RESULT_FORMAT + 1
+        doc["record_sha256"] = seal_record(doc)
+        path.write_text(json.dumps(doc))  # self-consistent but future-format
+        assert store.load(KEY) is None
+
+
+class TestManagement:
+    def test_keys_and_entries(self, store):
+        store.put(KEY, record())
+        store.put("a" * 64, record())
+        assert store.keys() == sorted([KEY, "a" * 64])
+        assert all(rec is not None for _, rec in store.entries())
+
+    def test_gc_drops_invalid_and_stale_toolchain(self, store):
+        store.put(KEY, record())
+        store.put("a" * 64, record(spec={"toolchain": "old"}))
+        store.path("b" * 64).parent.mkdir(parents=True, exist_ok=True)
+        store.path("b" * 64).write_text("junk")
+        dropped = store.gc(toolchain="t1")
+        assert sorted(dropped) == sorted(["a" * 64, "b" * 64])
+        assert store.load(KEY) is not None
+
+    def test_gc_dry_run_deletes_nothing(self, store):
+        store.path("b" * 64).parent.mkdir(parents=True, exist_ok=True)
+        store.path("b" * 64).write_text("junk")
+        assert store.gc(dry_run=True) == ["b" * 64]
+        assert store.path("b" * 64).exists()
+
+    def test_clear(self, store):
+        store.put(KEY, record())
+        assert store.clear() == 1
+        assert store.keys() == []
+
+    def test_default_is_none_when_caching_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert ResultStore.default() is None
+
+
+# ------------------------------------------------------- concurrent writers
+def _worker_execute(cache_dir: str, queue) -> None:
+    """Run the same job as the sibling process, racing on one store key."""
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    from repro.jobs import JobSpec, ResultStore, execute
+
+    outcome = execute(
+        JobSpec.build("fft", "tiny", scheme="s9", seed=3, host_cores=2),
+        store=ResultStore.default(),
+    )
+    queue.put((outcome.key, outcome.record["stats_dump"]))
+
+
+class TestConcurrency:
+    def test_two_processes_same_key_one_valid_record(self, cache_root, store):
+        """Satellite: two processes computing the same job key concurrently
+        both succeed, the store ends with one valid record, and both saw
+        byte-identical stats dumps (the runs are deterministic, so the
+        last-writer-wins race is benign)."""
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_worker_execute, args=(str(cache_root), queue))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        results = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        (key_a, dump_a), (key_b, dump_b) = results
+        assert key_a == key_b
+        assert dump_a == dump_b  # deterministic engine: identical bytes
+        assert store.keys() == [key_a]  # exactly one record survived
+        stored = store.load(key_a)
+        assert stored is not None  # ... and it seals valid
+        assert stored["stats_dump"] == dump_a
