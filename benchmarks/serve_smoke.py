@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""The serve chaos ladder, end to end (CI: the `serve-smoke` job).
+
+Drives a real ``repro serve`` daemon through the full failure drill from
+DESIGN.md §13 and proves the serve contract holds:
+
+1. Direct-run every job spec into an isolated baseline store (ground truth).
+2. Start the daemon and submit all jobs over the HTTP API.
+3. SIGKILL one worker process mid-run (a crashed leaseholder).
+4. SIGTERM the daemon itself mid-run (an interrupted incarnation).
+5. Restart the daemon: recovery must re-lease every orphan.
+6. Every job must land DONE — no losses, no duplicate rows — and every
+   served record's deterministic fields must be byte-identical to the
+   direct-run baseline (compared via ``cmp`` on dumped files).
+
+Exit status is 0 only when every rung holds.  Usage::
+
+    python benchmarks/serve_smoke.py --out smoke-out [--jobs 8 --workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.jobs import JobSpec, ResultStore  # noqa: E402
+from repro.jobs.execute import execute  # noqa: E402
+from repro.jobs.spec import spec_to_dict  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+#: The deterministic slice of a record that must survive any failure path
+#: bit-for-bit.  Provenance (wall time, engine, timestamps) may differ.
+DETERMINISTIC_FIELDS = (
+    "job_key", "completed", "metrics", "cores", "output_sha256",
+    "stats", "stats_digest", "stats_dump",
+)
+
+
+def log(msg: str) -> None:
+    print(f"serve-smoke: {msg}", flush=True)
+
+
+def fatal(msg: str) -> "None":
+    log(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def deterministic_dump(record: dict) -> bytes:
+    return json.dumps(
+        {f: record[f] for f in DETERMINISTIC_FIELDS}, sort_keys=True, indent=1
+    ).encode() + b"\n"
+
+
+def start_daemon(cache_dir: Path, workers: int) -> subprocess.Popen:
+    env = {**os.environ, "REPRO_CACHE_DIR": str(cache_dir),
+           "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--workers", str(workers), "--seed", "7"],
+        env=env,
+    )
+    endpoint = cache_dir / "serve" / "endpoint.json"
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            fatal(f"daemon exited early with {proc.returncode}")
+        try:
+            if json.loads(endpoint.read_text()).get("pid") == proc.pid:
+                return proc
+        except (OSError, json.JSONDecodeError):
+            pass
+        time.sleep(0.1)
+    fatal("daemon never published its endpoint")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", type=Path, default=Path("serve-smoke-out"))
+    args = parser.parse_args()
+
+    out = args.out
+    cache_dir = out / "cache"
+    baseline_dir = out / "baseline"
+    served_dir = out / "served"
+    for d in (cache_dir, baseline_dir, served_dir):
+        d.mkdir(parents=True, exist_ok=True)
+
+    specs = [
+        JobSpec.build("fft", "tiny", scheme="s9", seed=seed, host_cores=4)
+        for seed in range(1, args.jobs + 1)
+    ]
+
+    # Rung 0: ground truth, computed without the daemon.
+    log(f"direct-running {len(specs)} baseline job(s)")
+    baseline_store = ResultStore(out / "baseline-store")
+    keys = []
+    for i, spec in enumerate(specs):
+        outcome = execute(spec, store=baseline_store, trace=None)
+        keys.append(outcome.key)
+        (baseline_dir / f"{i:02d}.json").write_bytes(
+            deterministic_dump(outcome.record)
+        )
+
+    # Rung 1: serve them.
+    daemon = start_daemon(cache_dir, args.workers)
+    client = ServeClient(serve_dir=cache_dir / "serve")
+    for spec in specs:
+        client.submit(spec_to_dict(spec))
+    log(f"submitted {len(specs)} job(s) to pid {daemon.pid}")
+
+    # Rung 2: SIGKILL a worker the moment one is busy.
+    deadline = time.time() + 60
+    victim = None
+    while time.time() < deadline and victim is None:
+        for worker in client.status()["workers"]:
+            if worker["busy"] and worker["alive"]:
+                victim = worker
+                break
+        time.sleep(0.05)
+    if victim is None:
+        fatal("no worker ever went busy")
+    os.kill(victim["pid"], signal.SIGKILL)
+    log(f"SIGKILLed worker pid {victim['pid']} "
+        f"(job {victim['job_key'][:16]})")
+
+    # Rung 3: SIGTERM the daemon while work is still in flight.
+    time.sleep(0.5)
+    daemon.send_signal(signal.SIGTERM)
+    rc = daemon.wait(timeout=120)
+    log(f"daemon drained and exited with {rc}")
+    if rc != 0:
+        fatal("daemon did not shut down cleanly on SIGTERM")
+
+    # Rung 4: restart; recovery must finish everything.
+    daemon = start_daemon(cache_dir, args.workers)
+    client = ServeClient(serve_dir=cache_dir / "serve")
+    deadline = time.time() + 300
+    while time.time() < deadline:
+        counts = client.status()["queue"]
+        if counts["DONE"] == len(specs):
+            break
+        if counts["FAILED"] or counts["DEAD"]:
+            states = {j["job_key"][:16]: j["state"] for j in client.jobs()}
+            fatal(f"jobs failed: {states}")
+        time.sleep(0.2)
+    else:
+        fatal(f"jobs still unfinished: {client.status()['queue']}")
+    log("all jobs DONE across crash + restart")
+
+    rows = client.jobs()
+    if len(rows) != len(specs):
+        fatal(f"expected {len(specs)} rows, found {len(rows)} (duplicates?)")
+
+    # Rung 5: served records equal the direct-run baseline, via cmp.
+    for i, key in enumerate(keys):
+        (served_dir / f"{i:02d}.json").write_bytes(
+            deterministic_dump(client.fetch(key))
+        )
+    client.drain()
+    daemon.wait(timeout=120)
+    failures = 0
+    for i in range(len(specs)):
+        rc = subprocess.run(
+            ["cmp", str(baseline_dir / f"{i:02d}.json"),
+             str(served_dir / f"{i:02d}.json")]
+        ).returncode
+        if rc != 0:
+            log(f"FAIL: job {i:02d} served result differs from baseline")
+            failures += 1
+    if failures:
+        return 1
+    log(f"OK: {len(specs)} served result(s) byte-identical to direct runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,15 +25,18 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 
 import numpy as np
 
 __all__ = [
+    "Backoff",
     "SeedStream",
     "atomic_write_bytes",
     "atomic_write_text",
     "canonical_json",
     "output_digest",
+    "retry_with_backoff",
     "sha256_hex",
     "sign_extend",
     "to_signed64",
@@ -111,6 +114,90 @@ def atomic_write_bytes(path: "os.PathLike[str] | str", data: bytes) -> None:
 def atomic_write_text(path: "os.PathLike[str] | str", text: str, encoding: str = "utf-8") -> None:
     """Atomic counterpart of ``Path.write_text`` (see :func:`atomic_write_bytes`)."""
     atomic_write_bytes(path, text.encode(encoding))
+
+
+class Backoff:
+    """A jittered exponential backoff schedule.
+
+    The one retry-pacing vocabulary shared by every recovery loop in the
+    system — the sweep runner's ``BrokenProcessPool`` recovery, the serve
+    supervisor's crashed-worker requeues, and client reconnects all draw
+    their delays from here, so retry behaviour is tuned (and tested) in one
+    place.
+
+    ``next()`` yields ``base * 2**attempt`` capped at *cap*, multiplied by a
+    jitter factor drawn uniformly from ``[1-jitter, 1+jitter]``.  The jitter
+    source is a seeded :class:`numpy.random.Generator` when *seed* is given
+    (deterministic — the property tests replay exact schedules) and an
+    OS-seeded one otherwise (crash recovery in production wants decorrelated
+    retries, not synchronized stampedes).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.5,
+        cap: float = 8.0,
+        jitter: float = 0.25,
+        seed: "int | None" = None,
+    ) -> None:
+        self.base = float(base)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self.attempt = 0
+        self._rng = np.random.default_rng(seed)
+
+    def peek(self) -> float:
+        """The un-jittered delay the next ``next()`` call scales."""
+        return min(self.base * (2.0 ** self.attempt), self.cap)
+
+    def next(self) -> float:
+        """Advance the schedule and return the next (jittered) delay."""
+        delay = self.peek()
+        self.attempt += 1
+        if self.jitter:
+            delay *= 1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0))
+        return delay
+
+    def reset(self) -> None:
+        """Restart the schedule (call after a successful attempt)."""
+        self.attempt = 0
+
+    def sleep(self) -> float:
+        """``time.sleep(self.next())``; returns the delay slept."""
+        delay = self.next()
+        time.sleep(delay)
+        return delay
+
+
+def retry_with_backoff(
+    fn,
+    *,
+    retries: int = 3,
+    retry_on: "type[BaseException] | tuple" = Exception,
+    backoff: "Backoff | None" = None,
+    on_retry=None,
+):
+    """Call ``fn()`` up to ``1 + retries`` times, sleeping a :class:`Backoff`
+    delay between attempts.
+
+    Only exceptions matching *retry_on* are retried; anything else (and the
+    final matching failure) propagates.  *on_retry*, when given, is called as
+    ``on_retry(attempt, exc, delay)`` before each sleep — loggers and tests
+    hook observation there rather than monkeypatching ``time.sleep``.
+    """
+    backoff = backoff if backoff is not None else Backoff()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = backoff.next()
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            time.sleep(delay)
 
 
 class SeedStream:

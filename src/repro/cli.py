@@ -15,7 +15,10 @@ Subcommands::
     slacksim stats show run.stats.json
     slacksim stats diff a.stats.json b.stats.json
     slacksim trace info fft.trace
-    slacksim cache ls | info <key> | gc | clear
+    slacksim cache ls | info <key> | verify | gc | clear
+    slacksim serve --workers 4
+    slacksim submit --workload fft --scheme s9 --wait
+    slacksim jobs ls | info <key> | retry <key> | cancel <key> | status | drain
     slacksim schemes
 
 ``run``, ``sweep``, ``bench`` and the figure/table commands all resolve
@@ -392,6 +395,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(json.dumps(view, indent=2, sort_keys=True))
         return 0
 
+    if args.action == "verify":
+        report = store.verify()
+        for key in report["corrupt"]:
+            print(f"{key[:16]}  CORRUPT -> quarantined")
+        for key in report["stale"]:
+            print(f"{key[:16]}  stale format (plain miss)")
+        print(
+            f"checked {report['checked']} record(s): {len(report['ok'])} ok, "
+            f"{len(report['stale'])} stale, {len(report['corrupt'])} corrupt; "
+            f"{len(report['quarantined'])} quarantined file(s) on disk"
+        )
+        return 1 if report["corrupt"] else 0
+
     if args.action == "gc":
         from repro.lang.compiler import toolchain_fingerprint
 
@@ -408,6 +424,134 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     removed = store.clear()
     print(f"removed {removed} record(s) from {store.root}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeDaemon, endpoint_path
+
+    daemon = ServeDaemon(
+        serve_dir=args.serve_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_depth=args.max_depth,
+        max_retries=args.max_retries,
+        lease_ttl=args.lease_ttl,
+        job_timeout=args.job_timeout,
+        hang_timeout=args.hang_timeout,
+        drain_timeout=args.drain_timeout,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    daemon.install_signal_handlers()
+    print(
+        f"serve: http://{daemon.host}:{daemon.port} "
+        f"({args.workers} worker(s), queue depth {args.max_depth}) — "
+        f"endpoint published to {endpoint_path(daemon.serve_dir)}",
+        flush=True,
+    )
+    if daemon.recovered:
+        print(
+            f"serve: recovered {len(daemon.recovered)} orphaned job(s) "
+            "from the previous incarnation",
+            flush=True,
+        )
+    daemon.serve_forever()
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """The submission wire payload for the common run knobs."""
+    from repro.jobs import JobSpec
+    from repro.jobs.spec import spec_to_dict
+
+    return spec_to_dict(
+        JobSpec.build(
+            args.workload,
+            args.scale,
+            scheme=args.scheme,
+            seed=args.seed,
+            host_cores=args.host_cores,
+            core_model=args.core_model,
+            fastforward=args.fastforward,
+        )
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.jobs import record_summary
+    from repro.serve.client import ServeClient, ServeError, ServeRejected
+
+    try:
+        client = ServeClient(serve_dir=args.serve_dir)
+        if not args.wait:
+            outcome = client.submit(_submit_spec(args))
+            suffix = " (attached)" if not outcome.get("created") else ""
+            print(f"{outcome['job_key']}  {outcome['state']}{suffix}")
+            return 0
+        job = client.submit_and_wait(_submit_spec(args), timeout=args.timeout)
+        if job["state"] == "DONE":
+            print(record_summary(client.fetch(job["job_key"])))
+            print(f"{job['job_key'][:16]}  DONE (attempts={job['attempts']})")
+            return 0
+        print(
+            f"{job['job_key'][:16]}  {job['state']}: {job.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    except ServeRejected as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 1
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        client = ServeClient(serve_dir=args.serve_dir)
+        if args.action == "ls":
+            jobs = client.jobs()
+            for job in jobs:
+                spec = job.get("spec") or {}
+                what = f"{spec.get('workload')}/{spec.get('scale')} {spec.get('scheme')}"
+                line = (
+                    f"{job['job_key'][:16]}  {job['state']:7s} "
+                    f"attempts={job['attempts']}  {what}"
+                )
+                if job.get("error"):
+                    line += f"  [{job['error'].splitlines()[0][:60]}]"
+                print(line)
+            print(f"{len(jobs)} job(s)")
+            return 0
+        if args.action == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "drain":
+            client.drain()
+            print("drain requested")
+            return 0
+        if not args.key:
+            print(f"jobs {args.action} needs a job key", file=sys.stderr)
+            return 2
+        if args.action == "info":
+            print(json.dumps(client.poll(args.key), indent=2, sort_keys=True))
+            return 0
+        if args.action == "retry":
+            job = client.retry(args.key)
+            print(f"{job['job_key'][:16]}  {job['state']} (budget re-armed)")
+            return 0
+        # cancel
+        outcome = client.cancel(args.key)
+        print(f"{outcome['job_key'][:16]}  {outcome['state']}")
+        return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_schemes(args: argparse.Namespace) -> int:
@@ -548,14 +692,89 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect / maintain the content-addressed result store"
     )
     cache.add_argument(
-        "action", choices=("ls", "info", "gc", "clear"),
+        "action", choices=("ls", "info", "verify", "gc", "clear"),
         help="ls: list records; info: print one record (by key prefix); "
+        "verify: scan store integrity, quarantining corrupt entries; "
         "gc: drop invalid + stale-toolchain records; clear: drop everything",
     )
     cache.add_argument("key", nargs="?", help="job key (or unique prefix) for info")
     cache.add_argument("--dry-run", action="store_true",
                        help="gc: report what would be dropped without deleting")
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant simulation service (durable job queue "
+        "+ supervised worker pool over the job layer)",
+    )
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the pool (default 2)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0: an ephemeral port, "
+                       "published to the endpoint file)")
+    serve.add_argument("--serve-dir", metavar="DIR",
+                       help="durable state directory (queue, heartbeats, "
+                       "endpoint); default <cache root>/serve")
+    serve.add_argument("--max-depth", type=int, default=64,
+                       help="open-job admission limit; submits beyond it get "
+                       "429 + Retry-After (default 64)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="worker-crash retries per job before the "
+                       "dead-letter state (default 2; job errors never retry)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds a worker lease lives without renewal "
+                       "(default 30; the crash-safety net across restarts)")
+    serve.add_argument("--job-timeout", type=float, default=0.0,
+                       help="hard wall-clock seconds per job attempt "
+                       "(0: no cap, rely on the progress-based hang rule)")
+    serve.add_argument("--hang-timeout", type=float, default=60.0,
+                       help="kill a job whose progress heartbeat stalls this "
+                       "long (default 60; slow-but-advancing jobs are safe)")
+    serve.add_argument("--drain-timeout", type=float, default=60.0,
+                       help="graceful-shutdown budget for in-flight jobs "
+                       "(default 60; stragglers resume on restart)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="seed the retry-backoff jitter (deterministic "
+                       "fault schedules for the chaos tests)")
+    serve.add_argument("--verbose", "-v", action="store_true",
+                       help="log HTTP requests and shutdown detail")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running serve daemon"
+    )
+    submit.add_argument("--workload", default="fft")
+    submit.add_argument("--scheme", default="cc")
+    submit.add_argument("--host-cores", type=int, default=8)
+    submit.add_argument("--scale", default="tiny")
+    submit.add_argument("--core-model", default="inorder")
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--fastforward", action="store_true")
+    submit.add_argument("--serve-dir", metavar="DIR",
+                        help="the daemon's state directory "
+                        "(default <cache root>/serve)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll to a terminal state and print the result "
+                        "summary (honours 429 backpressure by waiting)")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait deadline in seconds (default 300)")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobsp = sub.add_parser(
+        "jobs", help="inspect / operate a running serve daemon's job queue"
+    )
+    jobsp.add_argument(
+        "action", choices=("ls", "info", "retry", "cancel", "status", "drain"),
+        help="ls: all jobs; info: one job; retry: re-arm a FAILED/DEAD job; "
+        "cancel: cancel queued/running work; status: daemon + pool view; "
+        "drain: graceful shutdown",
+    )
+    jobsp.add_argument("key", nargs="?", help="job key for info/retry/cancel")
+    jobsp.add_argument("--serve-dir", metavar="DIR",
+                       help="the daemon's state directory "
+                       "(default <cache root>/serve)")
+    jobsp.set_defaults(func=_cmd_jobs)
 
     schemes = sub.add_parser("schemes", help="list supported slack schemes")
     schemes.set_defaults(func=_cmd_schemes)

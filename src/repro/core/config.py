@@ -151,6 +151,16 @@ class SimConfig:
     #: crosses domains only at window edges.  1 (default) keeps the
     #: monolithic manager on the sequential backend.
     mem_domains: int = 1
+    #: Progress-heartbeat file (DESIGN.md §13): when set, the engine runs a
+    #: sampler thread that publishes its progress marker (global time,
+    #: Σ committed, Σ local clocks) here every ``heartbeat_interval`` wall
+    #: seconds, atomically.  Serve workers set this so the supervisor can
+    #: tell a slow-but-advancing job from a hung one across the process
+    #: boundary; None (default) starts no thread and costs nothing.
+    #: Digest-excluded: observation only, never simulated behaviour.
+    heartbeat_path: str | None = None
+    #: Wall seconds between heartbeat samples.
+    heartbeat_interval: float = 1.0
     #: Trace subsystem (DESIGN.md §11): "off" (default) leaves both seams
     #: unhooked; "capture" records the committed-op stream at the timing-core
     #: → memory seam into ``trace_path``; "replay" re-simulates a recorded

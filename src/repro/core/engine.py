@@ -754,6 +754,24 @@ class SequentialEngine:
         )
 
     def run(self) -> SimulationResult:
+        if self.sim.heartbeat_path is None:
+            return self._run()
+        # Progress heartbeats (DESIGN.md §13): a sampler thread publishes
+        # the live progress marker so an out-of-process supervisor can tell
+        # "slow but advancing" from "hung".  The loop itself is untouched.
+        from repro.serve.heartbeat import HeartbeatWriter, engine_progress
+
+        writer = HeartbeatWriter(
+            self.sim.heartbeat_path,
+            lambda: engine_progress(self),
+            interval=self.sim.heartbeat_interval,
+        ).start()
+        try:
+            return self._run()
+        finally:
+            writer.stop()
+
+    def _run(self) -> SimulationResult:
         sim = self.sim
         # A restored engine carries the loop-local snapshot its checkpoint
         # recorded (see _write_checkpoint); a fresh engine has none.

@@ -39,13 +39,12 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro._util import atomic_write_text, sha256_hex
+from repro._util import Backoff, atomic_write_text, sha256_hex
 from repro.core.config import SimConfig
 from repro.core.engine import SequentialEngine
 from repro.experiments.common import BENCHMARKS, HOST_COUNTS, SCHEMES, default_scale
@@ -460,7 +459,7 @@ def _run_points_parallel(
     propagate on first occurrence.
     """
     attempts = dict.fromkeys(todo, 0)
-    backoff = 0.5
+    backoff = Backoff(base=0.5, cap=8.0)
     while todo:
         executor = ProcessPoolExecutor(
             max_workers=jobs,
@@ -501,8 +500,7 @@ def _run_points_parallel(
                     f"point {point_key(specs[index])} lost its worker "
                     f"{attempts[index]} times (max_retries={max_retries})"
                 )
-        time.sleep(backoff)
-        backoff = min(backoff * 2, 8.0)
+        backoff.sleep()
 
 
 def run_sweep(

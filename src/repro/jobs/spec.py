@@ -20,7 +20,8 @@ equivalent elsewhere in the test suite: ``stepping``/``scheduling``/
 ``dispatch`` (digest-identical by the differential matrices, DESIGN.md
 §6/§9), the trace mode (replay is dump-identical to direct execution,
 §11), ``backend`` at one memory domain (byte-identical to the monolithic
-manager by construction, §10), the wall-clock watchdog, and output paths.
+manager by construction, §10), the wall-clock watchdog, the serve layer's
+progress heartbeat (observation only, §13), and output paths.
 Changing any of them must NOT change the key — a replayed run and a direct
 run of the same job are the *same job* and share one stored record.
 ``backend`` at N>1 domains stays in the key: the dump's value lines
@@ -29,12 +30,20 @@ legitimately differ there and the process backend restricts what can run.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro._util import canonical_json, sha256_hex
 from repro.core.config import HostConfig, SimConfig, TargetConfig
 
-__all__ = ["JOB_FORMAT", "JobSpec", "digest_payload", "job_key", "spec_program"]
+__all__ = [
+    "JOB_FORMAT",
+    "JobSpec",
+    "digest_payload",
+    "job_key",
+    "spec_from_dict",
+    "spec_program",
+    "spec_to_dict",
+]
 
 #: Job-layer format version: part of every key, so bumping it invalidates
 #: every stored result record at once (mirrors the compile cache's
@@ -138,6 +147,57 @@ class JobSpec:
 
     def host_config(self) -> HostConfig:
         return HostConfig(num_cores=self.host_cores)
+
+
+def spec_to_dict(spec: JobSpec) -> dict:
+    """*spec* as a JSON-pure dict (the serve submission wire format).
+
+    Round-trips exactly through :func:`spec_from_dict`: same JobSpec, same
+    job key — a job submitted over the wire is the same job its worker
+    executes.
+    """
+    d = {
+        "workload": spec.workload,
+        "scale": spec.scale,
+        "scheme": spec.scheme,
+        "seed": spec.seed,
+        "host_cores": spec.host_cores,
+        "core_model": spec.core_model,
+        "fastforward": spec.fastforward,
+        "mode": spec.mode,
+        "workload_args": [list(pair) for pair in spec.workload_args],
+    }
+    if spec.sim is not None:
+        d["sim"] = asdict(spec.sim)
+    return d
+
+
+def spec_from_dict(d: dict) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from its :func:`spec_to_dict` rendering.
+
+    Tolerates missing optional fields (defaults apply) and unknown ``sim``
+    keys (dropped — a newer client talking to an older daemon degrades to
+    the fields both sides know rather than erroring).
+    """
+    sim = d.get("sim")
+    sim_cfg = None
+    if sim:
+        known = {f.name for f in fields(SimConfig)}
+        sim_cfg = SimConfig(**{k: v for k, v in sim.items() if k in known})
+    return JobSpec(
+        workload=d["workload"],
+        scale=d["scale"],
+        scheme=d.get("scheme", "cc"),
+        seed=int(d.get("seed", 1)),
+        host_cores=int(d.get("host_cores", 8)),
+        core_model=d.get("core_model", "inorder"),
+        fastforward=bool(d.get("fastforward", False)),
+        mode=d.get("mode", "timing"),
+        workload_args=tuple(
+            sorted((k, v) for k, v in (d.get("workload_args") or []))
+        ),
+        sim=sim_cfg,
+    )
 
 
 def spec_program(spec: JobSpec):

@@ -12,6 +12,17 @@ recomputes it; any mismatch (torn write survived somehow, bit rot, a hand
 edit) demotes the record to a miss, never to silent garbage.  The same
 check backs ``repro cache gc``.
 
+**Quarantine.**  A *corrupt* entry (unparseable bytes, a failed seal, an
+embedded key that disagrees with its filename) is not merely ignored: it
+is atomically renamed to ``<key>.corrupt`` so the evidence survives for
+inspection while the key becomes a clean miss that the next run rewrites.
+A *stale* entry (an older ``format``) is a plain miss — an old format is
+not damage.  Every load outcome is counted in the module-level
+:data:`TELEMETRY` (hits / misses / corrupt / quarantined), and
+``repro cache verify`` (:meth:`ResultStore.verify`) scans the whole store
+and reports per-key integrity without waiting for a lookup to stumble on
+the damage.
+
 **Concurrency.**  Writes go through :func:`repro._util.atomic_write_text`
 (same-directory tempfile + ``os.replace``) — the compile cache's pattern.
 Two processes computing the same key race benignly: both runs are
@@ -26,17 +37,25 @@ returns ``None`` and execution layers fall back to always running).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro._util import atomic_write_text, canonical_json, sha256_hex
 from repro.lang.compiler import cache_dir
 
-__all__ = ["RESULT_FORMAT", "ResultStore", "results_dir", "seal_record"]
+__all__ = ["RESULT_FORMAT", "TELEMETRY", "ResultStore", "results_dir", "seal_record"]
 
 #: Store format version: recorded in every file; a mismatch is a miss.
 RESULT_FORMAT = 1
 
 _SEAL_FIELD = "record_sha256"
+
+#: Process-wide load-outcome counters, folded by every :class:`ResultStore`
+#: instance (``ResultStore.default()`` constructs a fresh handle per call,
+#: so per-instance counters would be invisible).  The serve daemon surfaces
+#: these in ``/api/status``; tests read them to assert that corruption was
+#: *observed*, not silently skipped.
+TELEMETRY = {"hits": 0, "misses": 0, "stale": 0, "corrupt": 0, "quarantined": 0}
 
 
 def results_dir(create: bool = False) -> Path | None:
@@ -76,29 +95,113 @@ class ResultStore:
         """The sealed record for *key*, or ``None`` (absent/corrupt/stale).
 
         A record only counts when it parses, its format matches, its
-        embedded key matches the filename, and its seal verifies — any
-        failure is a plain miss (the job re-runs and rewrites the entry).
+        embedded key matches the filename, and its seal verifies.  A stale
+        format is a plain miss; a *corrupt* entry (torn bytes, failed seal,
+        key mismatch) is additionally quarantined to ``<key>.corrupt`` so
+        the next lookup finds a clean miss and the evidence survives.
+        Either way the caller sees ``None`` and the job simply re-runs —
+        damage is telemetry (:data:`TELEMETRY`), never an exception.
         """
+        record, status = self._read(key)
+        if status == "ok":
+            TELEMETRY["hits"] += 1
+            return record
+        TELEMETRY["misses"] += 1
+        if status == "stale":
+            TELEMETRY["stale"] += 1
+        elif status == "corrupt":
+            TELEMETRY["corrupt"] += 1
+            self.quarantine(key)
+        return None
+
+    def _read(self, key: str) -> "tuple[dict | None, str]":
+        """Parse + classify *key*'s file: (record-or-None, status) where
+        status is ``"ok" | "absent" | "stale" | "corrupt"``."""
+        path = self.path(key)
         try:
-            with open(self.path(key)) as fh:
+            with open(path) as fh:
                 record = json.load(fh)
+        except FileNotFoundError:
+            return None, "absent"
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return None
-        if not self.validate(record, key=key):
-            return None
-        return record
+            return None, "corrupt"
+        status = self.classify(record, key=key)
+        return (record if status == "ok" else None), status
+
+    @staticmethod
+    def classify(record: object, key: str | None = None) -> str:
+        """Integrity class of a parsed record: ``"ok" | "stale" | "corrupt"``.
+
+        A non-current ``format`` is *stale* (an old layout, not damage);
+        everything else that fails — wrong shape, filename/key mismatch,
+        broken seal — is *corrupt*.
+        """
+        if not isinstance(record, dict):
+            return "corrupt"
+        if record.get("format") != RESULT_FORMAT:
+            return "stale"
+        if key is not None and record.get("job_key") != key:
+            return "corrupt"
+        seal = record.get(_SEAL_FIELD)
+        if isinstance(seal, str) and seal == seal_record(record):
+            return "ok"
+        return "corrupt"
 
     @staticmethod
     def validate(record: object, key: str | None = None) -> bool:
         """Structural + seal validity of a parsed record."""
-        if not isinstance(record, dict):
-            return False
-        if record.get("format") != RESULT_FORMAT:
-            return False
-        if key is not None and record.get("job_key") != key:
-            return False
-        seal = record.get(_SEAL_FIELD)
-        return isinstance(seal, str) and seal == seal_record(record)
+        return ResultStore.classify(record, key=key) == "ok"
+
+    def quarantine(self, key: str) -> "Path | None":
+        """Move *key*'s entry aside to ``<key>.corrupt`` (atomic rename).
+
+        Returns the quarantine path, or ``None`` when the entry vanished
+        first (two readers racing on the same damaged file quarantine it
+        once — ``os.replace`` makes the second rename a no-op failure).
+        """
+        src = self.path(key)
+        dst = src.with_suffix(".corrupt")
+        try:
+            os.replace(src, dst)
+        except OSError:
+            return None
+        TELEMETRY["quarantined"] += 1
+        return dst
+
+    def verify(self) -> dict:
+        """Scan every entry and report store integrity (``cache verify``).
+
+        Corrupt entries are quarantined as a side effect — a verify pass
+        leaves the store with only loadable or stale entries on disk.
+        Returns ``{"checked", "ok": [...], "stale": [...], "corrupt":
+        [...], "quarantined": [...]}`` where *quarantined* lists the
+        ``.corrupt`` files present after the scan (earlier casualties
+        included).
+        """
+        ok: list[str] = []
+        stale: list[str] = []
+        corrupt: list[str] = []
+        for key in self.keys():
+            _, status = self._read(key)
+            if status == "ok":
+                ok.append(key)
+            elif status == "stale":
+                stale.append(key)
+            elif status == "corrupt":
+                corrupt.append(key)
+                self.quarantine(key)
+        quarantined = (
+            sorted(p.name for p in self.root.glob("*.corrupt"))
+            if self.root.is_dir()
+            else []
+        )
+        return {
+            "checked": len(ok) + len(stale) + len(corrupt),
+            "ok": ok,
+            "stale": stale,
+            "corrupt": corrupt,
+            "quarantined": quarantined,
+        }
 
     def put(self, key: str, record: dict) -> Path:
         """Seal and atomically publish *record* under *key*.
@@ -125,8 +228,13 @@ class ResultStore:
         return sorted(p.stem for p in self.root.glob("*.json"))
 
     def entries(self) -> "list[tuple[str, dict | None]]":
-        """(key, record-or-None) for every file, invalid records as None."""
-        return [(key, self.load(key)) for key in self.keys()]
+        """(key, record-or-None) for every file, invalid records as None.
+
+        A management scan, not a lookup: reads classify but never
+        quarantine or count toward :data:`TELEMETRY` (``gc --dry-run``
+        must observe without mutating).
+        """
+        return [(key, self._read(key)[0]) for key in self.keys()]
 
     def gc(self, *, toolchain: str | None = None, dry_run: bool = False) -> list[str]:
         """Drop invalid records, plus valid ones recorded under a different

@@ -76,3 +76,22 @@ def test_run_twice_reports_store_hit(store, capsys):
     # The summary and verification lines are byte-identical either way.
     assert cold.splitlines()[0] == warm.splitlines()[0]
     assert cold.splitlines()[-1] == warm.splitlines()[-1]
+
+
+def test_verify_clean_store_exits_zero(store, capsys):
+    _populate(store)
+    assert main(["cache", "verify"]) == 0
+    out = capsys.readouterr().out
+    assert "1 ok, 0 stale, 0 corrupt" in out
+
+
+def test_verify_quarantines_and_exits_nonzero(store, capsys):
+    key = _populate(store)
+    store.path(key).write_text("torn")
+    assert main(["cache", "verify"]) == 1
+    out = capsys.readouterr().out
+    assert f"{key[:16]}  CORRUPT -> quarantined" in out
+    assert not store.path(key).exists()
+    assert store.path(key).with_suffix(".corrupt").read_text() == "torn"
+    # A second pass finds a clean (empty) store.
+    assert main(["cache", "verify"]) == 0

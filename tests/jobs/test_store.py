@@ -1,12 +1,21 @@
-"""Result-store mechanics: sealing, corruption, gc, and concurrent writers."""
+"""Result-store mechanics: sealing, corruption, quarantine, gc, and
+concurrent writers."""
 
 import json
 import multiprocessing
 import os
 
+import pytest
+
 from repro.jobs import RESULT_FORMAT, ResultStore, seal_record
+from repro.jobs.store import TELEMETRY
 
 KEY = "k" * 64
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    TELEMETRY.update(dict.fromkeys(TELEMETRY, 0))
 
 
 def record(**extra) -> dict:
@@ -85,6 +94,89 @@ class TestManagement:
     def test_default_is_none_when_caching_disabled(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", "")
         assert ResultStore.default() is None
+
+
+class TestQuarantine:
+    """Damaged entries are misses *and* get moved aside as evidence."""
+
+    def test_corrupt_entry_is_quarantined_on_load(self, store):
+        path = store.put(KEY, record())
+        path.write_text("{ torn bytes")
+        assert store.load(KEY) is None
+        assert not path.exists()  # the broken file no longer shadows the key
+        quarantined = path.with_suffix(".corrupt")
+        assert quarantined.read_text() == "{ torn bytes"
+        # The next lookup is a clean miss, not a second quarantine.
+        assert store.load(KEY) is None
+        assert TELEMETRY["corrupt"] == 1
+        assert TELEMETRY["quarantined"] == 1
+
+    def test_failed_seal_quarantines(self, store):
+        path = store.put(KEY, record())
+        doc = json.loads(path.read_text())
+        doc["metrics"]["x"] = 999
+        path.write_text(json.dumps(doc))
+        assert store.load(KEY) is None
+        assert path.with_suffix(".corrupt").exists()
+        assert TELEMETRY["corrupt"] == 1
+
+    def test_stale_format_is_miss_but_not_quarantined(self, store):
+        path = store.put(KEY, record())
+        doc = json.loads(path.read_text())
+        doc["format"] = RESULT_FORMAT + 1
+        doc["record_sha256"] = seal_record(doc)
+        path.write_text(json.dumps(doc))
+        assert store.load(KEY) is None
+        assert path.exists()  # stale ≠ damaged: left in place for gc
+        assert TELEMETRY["stale"] == 1
+        assert TELEMETRY["quarantined"] == 0
+
+    def test_requarantine_overwrites_older_evidence(self, store):
+        path = store.put(KEY, record())
+        path.with_suffix(".corrupt").write_text("older evidence")
+        path.write_text("fresh damage")
+        assert store.load(KEY) is None
+        assert path.with_suffix(".corrupt").read_text() == "fresh damage"
+
+    def test_telemetry_counts_hits_and_misses(self, store):
+        store.put(KEY, record())
+        assert store.load(KEY) is not None
+        assert store.load("0" * 64) is None
+        assert TELEMETRY["hits"] == 1
+        assert TELEMETRY["misses"] == 1
+
+    def test_verify_scans_and_quarantines(self, store):
+        store.put(KEY, record())                     # ok
+        bad = store.put("a" * 64, record())
+        bad.write_text("junk")                       # corrupt
+        stale = store.put("b" * 64, record())
+        doc = json.loads(stale.read_text())
+        doc["format"] = RESULT_FORMAT + 1
+        doc["record_sha256"] = seal_record(doc)
+        stale.write_text(json.dumps(doc))            # stale
+        report = store.verify()
+        assert report["checked"] == 3
+        assert report["ok"] == [KEY]
+        assert report["corrupt"] == ["a" * 64]
+        assert report["stale"] == ["b" * 64]
+        assert report["quarantined"] == ["a" * 64 + ".corrupt"]
+        assert bad.with_suffix(".corrupt").exists()
+        assert store.load(KEY) is not None           # good entry untouched
+
+    def test_verify_on_empty_store(self, store):
+        report = store.verify()
+        assert report["checked"] == 0
+        assert report["corrupt"] == []
+
+    def test_entries_is_non_mutating(self, store):
+        """gc --dry-run and `cache ls` walk entries(); a scan must never
+        move files."""
+        path = store.put(KEY, record())
+        path.write_text("junk")
+        listed = dict(store.entries())
+        assert listed[KEY] is None
+        assert path.exists()
+        assert not path.with_suffix(".corrupt").exists()
 
 
 # ------------------------------------------------------- concurrent writers

@@ -1,0 +1,119 @@
+"""Tests for per-job progress heartbeats (the cross-process watchdog
+signal): the writer's file discipline, the reader's tolerance, and the
+engine integration that publishes real progress markers during a run."""
+
+import json
+import threading
+import time
+
+from repro.core import run_simulation
+from repro.core.config import HostConfig, SimConfig, TargetConfig
+from repro.serve.heartbeat import HeartbeatWriter, engine_progress, read_heartbeat
+from repro.workloads.synthetic import sharing_workload
+
+
+def run_traced(cores, **sim_kw):
+    return run_simulation(
+        None,
+        trace_cores=cores,
+        host=HostConfig(num_cores=4),
+        sim=SimConfig(scheme="s9", seed=1, **sim_kw),
+        target=TargetConfig(num_cores=len(cores), core_model="trace"),
+    )
+
+
+def test_writer_publishes_and_final_beat_on_stop(tmp_path):
+    path = tmp_path / "hb.json"
+    values = iter(range(100))
+    writer = HeartbeatWriter(path, lambda: [next(values)], interval=0.05)
+    writer.start()
+    try:
+        deadline = time.time() + 5.0
+        while writer.beats < 3 and time.time() < deadline:
+            time.sleep(0.02)
+    finally:
+        writer.stop()
+    beat = read_heartbeat(path)
+    assert beat is not None
+    assert beat["beats"] == writer.beats >= 3
+    assert beat["progress"] == [writer.beats - 1]  # stop() flushed a final beat
+    assert isinstance(beat["pid"], int) and beat["wall"] > 0
+
+
+def test_stop_without_thread_still_flushes(tmp_path):
+    path = tmp_path / "hb.json"
+    writer = HeartbeatWriter(path, lambda: "marker")
+    writer.stop()  # never started: still writes the final state
+    assert read_heartbeat(path)["progress"] == "marker"
+
+
+def test_reader_tolerates_absent_and_garbage(tmp_path):
+    assert read_heartbeat(tmp_path / "missing.json") is None
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{not json")
+    assert read_heartbeat(garbage) is None
+    garbage.write_text('["a", "list"]')  # parseable but not a beat
+    assert read_heartbeat(garbage) is None
+
+
+def test_writer_survives_unwritable_path():
+    writer = HeartbeatWriter("/nonexistent-dir/nope/hb.json", lambda: [1])
+    writer.beat()  # must not raise: a vanished serve dir can't kill the job
+    assert writer.beats == 1
+
+
+def test_engine_publishes_progress_during_run(tmp_path):
+    """A real tiny simulation with heartbeat_path set writes at least one
+    beat whose progress marker reflects actual forward motion."""
+    path = tmp_path / "job.heartbeat.json"
+    result = run_traced(
+        sharing_workload(4, 20, seed=5),
+        heartbeat_path=str(path),
+        heartbeat_interval=0.05,
+    )
+    assert result.completed
+    beat = read_heartbeat(path)
+    assert beat is not None  # final beat flushed even for sub-interval runs
+    global_time, committed, local = beat["progress"]
+    assert global_time > 0 and committed > 0 and local > 0
+
+
+def test_engine_without_heartbeat_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    result = run_traced(sharing_workload(4, 10, seed=2))
+    assert result.completed
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_engine_progress_handles_broken_engine():
+    class Broken:
+        @property
+        def cores(self):
+            raise RuntimeError("mid-construction")
+
+    assert engine_progress(Broken()) == []
+
+
+def test_beats_are_atomic_under_concurrent_reads(tmp_path):
+    """Hammer reads while the writer beats fast: every successful read is a
+    complete, well-formed beat (the atomic-write guarantee)."""
+    path = tmp_path / "hb.json"
+    writer = HeartbeatWriter(path, lambda: list(range(50)), interval=0.01)
+    torn = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            beat = read_heartbeat(path)
+            if beat is not None and beat.get("progress") != list(range(50)):
+                torn.append(beat)
+
+    thread = threading.Thread(target=reader)
+    writer.start()
+    thread.start()
+    time.sleep(0.3)
+    stop.set()
+    thread.join()
+    writer.stop()
+    assert torn == []
+    assert json.loads(path.read_text())["beats"] == writer.beats
